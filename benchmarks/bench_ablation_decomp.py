@@ -1,0 +1,85 @@
+"""Ablation (Sections III-IV): contribution of each decomposition type.
+
+DESIGN.md calls out the engine's priority list as the core design choice;
+this bench switches each decomposition family off and measures the damage
+on one AND/OR-intensive and one XOR-intensive circuit:
+
+* full engine (paper configuration),
+* no XNOR decompositions (neither x-dominators nor Theorem 6),
+* no functional MUX,
+* no generalized (Boolean) dominators,
+* Shannon-only (every structural search disabled).
+
+The paper's expectation: XOR circuits collapse to much worse literal
+counts without XNOR decomposition; random logic barely cares.
+"""
+
+import pytest
+
+from common import format_table
+from conftest import register_table
+from repro.bds import BDSOptions, bds_optimize
+from repro.circuits import build_circuit
+from repro.decomp.engine import DecompOptions
+from repro.verify import simulate_equivalence
+
+CONFIGS = [
+    ("full", DecompOptions()),
+    ("no-xnor", DecompOptions(enable_bool_xnor=False,
+                              enable_x_dominator=False)),
+    ("no-mux", DecompOptions(enable_mux=False)),
+    ("no-generalized", DecompOptions(enable_generalized=False)),
+    ("shannon-only", DecompOptions(enable_simple=False, enable_mux=False,
+                                   enable_generalized=False,
+                                   enable_bool_xnor=False)),
+]
+
+CIRCUITS = ["C1355", "pair"]
+
+_results = {}
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+@pytest.mark.parametrize("config_name",
+                         [name for name, _ in CONFIGS])
+def test_decomposition_ablation(benchmark, circuit, config_name):
+    options = dict(CONFIGS)[config_name]
+    net = build_circuit(circuit)
+
+    def run():
+        return bds_optimize(net, BDSOptions(decomp=options))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ok, _ = simulate_equivalence(net, result.network)
+    assert ok, (circuit, config_name)
+    stats = result.decomp_stats
+    _results[(circuit, config_name)] = (
+        result.network.literal_count(),
+        result.network.node_count(),
+        stats.simple_xnor + stats.boolean_xnor,
+        stats.functional_mux,
+        stats.shannon,
+    )
+    if len(_results) == len(CIRCUITS) * len(CONFIGS):
+        _emit()
+
+
+def _emit():
+    header = ("%-9s %-14s | %8s %6s %6s %5s %8s"
+              % ("circuit", "config", "literals", "nodes", "xnors", "muxes",
+                 "shannon"))
+    rows = []
+    for circuit in CIRCUITS:
+        for config_name, _ in CONFIGS:
+            lits, nodes, xnors, muxes, shannon = _results[(circuit, config_name)]
+            rows.append("%-9s %-14s | %8d %6d %6d %5d %8d"
+                        % (circuit, config_name, lits, nodes, xnors, muxes,
+                           shannon))
+    full_xor = _results[("C1355", "full")][0]
+    crippled_xor = _results[("C1355", "no-xnor")][0]
+    footer = ("shape: disabling XNOR on the XOR-intensive circuit costs "
+              "%.0f%% extra literals" % (100.0 * (crippled_xor - full_xor)
+                                         / max(full_xor, 1)))
+    register_table("ablation_decomp", format_table(
+        "Decomposition-type ablation (BDS engine)", header, rows, footer))
+    assert crippled_xor >= full_xor

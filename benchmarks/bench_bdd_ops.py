@@ -1,0 +1,98 @@
+"""Microbenchmarks of the BDD substrate.
+
+Not a paper table -- these keep the performance of the primitives that
+every experiment depends on (ITE throughput, sifting, transfer, ISOP)
+visible in the benchmark report, so regressions in the substrate are
+caught next to the system-level numbers.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD, transfer_many
+from repro.bdd.isop import isop
+from repro.bdd.reorder import sift
+from repro.bdd.traverse import node_count
+
+
+def _build_alu_like(mgr, n=10, seed=17):
+    rng = random.Random(seed)
+    vs = [mgr.new_var() for _ in range(n)]
+    refs = [mgr.var_ref(v) for v in vs]
+    for _ in range(120):
+        f, g = rng.choice(refs), rng.choice(refs)
+        if rng.random() < 0.3:
+            f ^= 1
+        refs.append(getattr(mgr, rng.choice(["and_", "or_", "xor_"]))(f, g))
+    return vs, refs[-1]
+
+
+def test_ite_throughput(benchmark):
+    def run():
+        mgr = BDD()
+        _, f = _build_alu_like(mgr)
+        return mgr.num_nodes_allocated
+
+    nodes = benchmark(run)
+    assert nodes > 100
+
+
+def test_adder_bdd_construction(benchmark):
+    def run():
+        mgr = BDD()
+        bits = 12
+        a = [mgr.new_var("a%d" % i) for i in range(bits)]
+        b = [mgr.new_var("b%d" % i) for i in range(bits)]
+        carry = None
+        outs = []
+        for i in range(bits):
+            ra, rb = mgr.var_ref(a[i]), mgr.var_ref(b[i])
+            if carry is None:
+                outs.append(mgr.xor_(ra, rb))
+                carry = mgr.and_(ra, rb)
+            else:
+                t = mgr.xor_(ra, rb)
+                outs.append(mgr.xor_(t, carry))
+                carry = mgr.or_(mgr.and_(t, carry), mgr.and_(ra, rb))
+        return node_count(mgr, carry)
+
+    size = benchmark(run)
+    assert size > 10
+
+
+def test_sifting(benchmark):
+    def run():
+        mgr = BDD()
+        # Interleaved-AND function: sifting has real work to do.
+        a = [mgr.new_var("a%d" % i) for i in range(6)]
+        b = [mgr.new_var("b%d" % i) for i in range(6)]
+        f = 1  # ZERO
+        for ai, bi in zip(a, b):
+            f = mgr.or_(f, mgr.and_(mgr.var_ref(ai), mgr.var_ref(bi)))
+        return sift(mgr, [f])
+
+    final = benchmark(run)
+    assert final <= 12
+
+
+def test_transfer(benchmark):
+    mgr = BDD()
+    _, f = _build_alu_like(mgr)
+
+    def run():
+        return transfer_many(mgr, [f]).manager.num_nodes_allocated
+
+    nodes = benchmark(run)
+    assert nodes > 1
+
+
+def test_isop_extraction(benchmark):
+    mgr = BDD()
+    _, f = _build_alu_like(mgr, n=8, seed=23)
+
+    def run():
+        return len(isop(mgr, f))
+
+    cubes = benchmark(run)
+    assert cubes >= 1

@@ -1,0 +1,104 @@
+"""Table II: BDS vs SIS on the arithmetic circuit family.
+
+Regenerates the paper's Table II: barrel shifters (bshiftN) and array
+multipliers (mNxN) of growing size, with gates/area/delay/CPU per system
+and the *speedup* column.  The paper's shape: BDS ~100x faster on average,
+with the speedup growing with circuit size (3.9x at bshift16 up to >560x
+at bshift512), at slightly larger (+-few %) area.
+
+Sizes are scaled to a pure-Python runtime (see DESIGN.md); the assertion
+is on the trend, not the absolute factor.
+"""
+
+import pytest
+
+from common import format_table, run_system
+from conftest import register_table
+from repro.circuits import TABLE2_MULTIPLIERS, TABLE2_SHIFTERS, build_circuit
+
+# Paper's Table II (gates, area, delay, CPU) and speedup for reference.
+PAPER_TABLE2 = {
+    "bshift16": ((158, 406.0, 19.0, 3.9), (145, 376.0, 21.8, 1.0), 3.9),
+    "bshift32": ((292, 774.0, 27.5, 19.1), (255, 704.0, 31.1, 2.3), 8.3),
+    "bshift64": ((653, 1796.0, 34.9, 100.2), (570, 1656.0, 47.2, 6.5), 15.4),
+    "bshift128": ((1478, 4237.0, 55.5, 643.9), (1193, 3750.0, 75.3, 22.9), 28.1),
+    "m2x2": ((8, 17.0, 9.1, 0.2), (11, 22.0, 5.7, 0.1), 2.0),
+    "m4x4": ((97, 220.0, 56.1, 2.7), (112, 256.0, 37.5, 0.4), 6.7),
+    "m8x8": ((514, 1224.0, 121.2, 42.4), (561, 1351.0, 81.8, 2.2), 19.3),
+    "m16x16": ((2312, 5678.0, 264.0, 110.8), (2517, 6111.0, 186.5, 9.7), 11.4),
+}
+
+import os
+
+CIRCUITS = TABLE2_SHIFTERS + TABLE2_MULTIPLIERS
+if os.environ.get("REPRO_TABLE2_LARGE"):
+    # Opt-in larger sizes (minutes of runtime in pure Python); the trend
+    # toward the paper's biggest entries continues.
+    CIRCUITS = CIRCUITS + ["bshift128", "m12x12"]
+
+_results = {}
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_table2_circuit(benchmark, name):
+    net = build_circuit(name)
+    sis = run_system(net, "sis")
+
+    def bds_run():
+        return run_system(net, "bds")
+
+    bds = benchmark.pedantic(bds_run, rounds=1, iterations=1)
+    assert sis.verified and bds.verified, name
+    benchmark.extra_info["speedup"] = sis.cpu / max(bds.cpu, 1e-9)
+    _results[name] = (sis, bds)
+    if len(_results) == len(CIRCUITS):
+        _emit()
+
+
+def _emit():
+    header = ("%-9s | %6s %9s %7s %8s | %6s %9s %7s %8s | %8s"
+              % ("circuit", "gates", "area", "delay", "CPU[s]",
+                 "gates", "area", "delay", "CPU[s]", "speedup"))
+    rows = []
+    shifter_speedups = []
+    mult_speedups = []
+    for name in CIRCUITS:
+        sis, bds = _results[name]
+        speedup = sis.cpu / max(bds.cpu, 1e-9)
+        rows.append("%-9s | %6d %9.0f %7.2f %8.3f | %6d %9.0f %7.2f %8.3f | %7.1fx"
+                    % (name, sis.gates, sis.area, sis.delay, sis.cpu,
+                       bds.gates, bds.area, bds.delay, bds.cpu, speedup))
+        (shifter_speedups if name.startswith("bshift") else mult_speedups
+         ).append(speedup)
+    footer = [
+        "SHAPE     shifter speedups by size: %s"
+        % " ".join("%.1fx" % s for s in shifter_speedups),
+        "          multiplier speedups by size: %s"
+        % " ".join("%.1fx" % s for s in mult_speedups),
+        "          (paper: 3.9x -> 8.3x -> 15.4x -> 28.1x -> 300x shifters;"
+        " 2.0x -> 6.7x -> 19.3x multipliers)",
+    ]
+    register_table("table2", format_table(
+        "Table II -- arithmetic circuits, SIS (left) vs BDS (right)",
+        header, rows, "\n".join(footer)))
+
+
+def test_table2_speedup_grows_with_size(benchmark):
+    """The Table II headline: the BDS speedup grows with circuit size."""
+
+    def measure():
+        small = _speedup("bshift8")
+        large = _speedup("bshift64")
+        return small, large
+
+    small, large = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert large > small, (
+        "speedup should grow with size: bshift8 %.1fx vs bshift64 %.1fx"
+        % (small, large))
+
+
+def _speedup(name):
+    net = build_circuit(name)
+    sis = run_system(net, "sis", verify=False)
+    bds = run_system(net, "bds", verify=False)
+    return sis.cpu / max(bds.cpu, 1e-9)

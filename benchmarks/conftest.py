@@ -1,0 +1,27 @@
+"""Shared benchmark infrastructure.
+
+Every bench module registers its finished result table here; the tables
+are printed in the terminal summary (so they appear even under pytest's
+output capture) and written to ``results/`` next to this directory.
+"""
+
+import os
+from typing import Dict, List
+
+_TABLES: Dict[str, str] = {}
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def register_table(name: str, text: str) -> None:
+    """Record a finished experiment table for summary printing + saving."""
+    _TABLES[name] = text
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name + ".txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for name in sorted(_TABLES):
+        terminalreporter.write_sep("=", name)
+        terminalreporter.write_line(_TABLES[name])

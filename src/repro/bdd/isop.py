@@ -1,0 +1,95 @@
+"""Irredundant sum-of-products extraction from BDDs (Minato-Morreale ISOP).
+
+Used to convert decomposed BDD fragments back into cube covers when writing
+BLIF, and as the bridge from BDD-represented nodes to the cube world of the
+SIS-like baseline.  ``isop(mgr, f)`` returns an irredundant prime-ish cover
+of ``f``; ``isop_interval(mgr, lower, upper)`` returns a cover ``g`` with
+``lower <= g <= upper`` -- the classic incompletely-specified form.
+
+Cubes are dicts ``{var: bool}`` (missing vars are don't-cares).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bdd.manager import BDD, ONE, ZERO
+
+Cube = Dict[int, bool]
+
+
+def isop(mgr: BDD, f: int) -> List[Cube]:
+    """Irredundant SOP cover of a completely specified function."""
+    cover, _ = _isop(mgr, f, f, {})
+    return cover
+
+
+def isop_interval(mgr: BDD, lower: int, upper: int) -> Tuple[List[Cube], int]:
+    """Cover of any function in the interval [lower, upper].
+
+    Returns ``(cubes, bdd_of_cover)``.  Requires ``lower <= upper``.
+    """
+    if not mgr.leq(lower, upper):
+        raise ValueError("isop interval requires lower <= upper")
+    return _isop(mgr, lower, upper, {})
+
+
+def _isop(mgr: BDD, lower: int, upper: int, memo: Dict) -> Tuple[List[Cube], int]:
+    if lower == ZERO:
+        return [], ZERO
+    if upper == ONE:
+        return [{}], ONE
+    key = (lower, upper)
+    if key in memo:
+        return memo[key]
+    # Branch variable: the top variable of the interval.
+    level = min(mgr.level(lower), mgr.level(upper))
+    var = mgr.var_at_level(level)
+    l0, l1 = _cof(mgr, lower, level)
+    u0, u1 = _cof(mgr, upper, level)
+    # Cubes that must contain literal ~var / var.
+    lsub0 = mgr.and_(l0, u1 ^ 1)
+    lsub1 = mgr.and_(l1, u0 ^ 1)
+    c0, g0 = _isop(mgr, lsub0, u0, memo)
+    c1, g1 = _isop(mgr, lsub1, u1, memo)
+    # Remaining onset not yet covered; can be covered var-independently.
+    lnew0 = mgr.and_(l0, g0 ^ 1)
+    lnew1 = mgr.and_(l1, g1 ^ 1)
+    lnew = mgr.or_(lnew0, lnew1)
+    cd, gd = _isop(mgr, lnew, mgr.and_(u0, u1), memo)
+    cover: List[Cube] = []
+    for cube in c0:
+        cube = dict(cube)
+        cube[var] = False
+        cover.append(cube)
+    for cube in c1:
+        cube = dict(cube)
+        cube[var] = True
+        cover.append(cube)
+    cover.extend(cd)
+    vref = mgr.var_ref(var)
+    g = mgr.or_(gd, mgr.ite(vref, g1, g0))
+    memo[key] = (cover, g)
+    return cover, g
+
+
+def _cof(mgr: BDD, f: int, level: int) -> Tuple[int, int]:
+    if mgr.level(f) == level:
+        return mgr.children(f)
+    return f, f
+
+
+def cover_to_bdd(mgr: BDD, cover: List[Cube]) -> int:
+    """Build the BDD of a cube cover."""
+    out = ZERO
+    for cube in cover:
+        term = ONE
+        for var, val in cube.items():
+            term = mgr.and_(term, mgr.literal(var, val))
+        out = mgr.or_(out, term)
+    return out
+
+
+def cover_literal_count(cover: List[Cube]) -> int:
+    """Total number of literals in a cover (the SIS cost metric)."""
+    return sum(len(cube) for cube in cover)

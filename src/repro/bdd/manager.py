@@ -1,0 +1,413 @@
+"""The BDD manager: node storage, unique table, ITE, derived operators.
+
+A reference (``ref``) is an int ``node_index << 1 | complement``.  Node 0 is
+the single terminal node; ``ONE == 0`` (terminal, regular) and ``ZERO == 1``
+(terminal, complemented).  To keep the representation canonical the *then*
+(high) edge of a stored node is never complemented; ``mk`` re-normalizes and
+returns a complemented ref when needed.
+
+Variables are small ints handed out by :meth:`BDD.new_var`.  The manager
+keeps a ``var -> level`` permutation so the sifting reorderer can move
+variables without touching callers' variable ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Sentinel level/var for the terminal node; larger than any real level.
+TERMINAL = 1 << 30
+
+#: The constant TRUE function (terminal node, regular edge).
+ONE = 0
+
+#: The constant FALSE function (terminal node, complement edge).
+ZERO = 1
+
+
+class BDD:
+    """A manager for reduced, ordered BDDs with complement edges."""
+
+    def __init__(self) -> None:
+        # Parallel node arrays.  Node 0 is the terminal.
+        self._var: List[int] = [TERMINAL]
+        self._lo: List[int] = [ONE]
+        self._hi: List[int] = [ONE]
+        # Unique table: (var, lo, hi) -> node index.
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Computed table for ITE and other cached operators.
+        self._cache: Dict[Tuple, int] = {}
+        # Variable bookkeeping.
+        self._var_names: List[str] = []
+        self._name_to_var: Dict[str, int] = {}
+        self._var2level: List[int] = []
+        self._level2var: List[int] = []
+        # Nodes indexed by variable (lists may contain stale entries after
+        # in-place reordering; consumers must re-check ``self._var``).
+        self._nodes_by_var: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Variables and ordering
+    # ------------------------------------------------------------------
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        """Create a fresh variable at the bottom of the order; return its id."""
+        var = len(self._var_names)
+        if name is None:
+            name = "v%d" % var
+        if name in self._name_to_var:
+            raise ValueError("duplicate variable name: %r" % name)
+        self._var_names.append(name)
+        self._name_to_var[name] = var
+        self._var2level.append(len(self._level2var))
+        self._level2var.append(var)
+        self._nodes_by_var[var] = []
+        return var
+
+    def add_vars(self, names: Iterable[str]) -> List[int]:
+        """Create several named variables; return their ids in order."""
+        return [self.new_var(n) for n in names]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_names)
+
+    def var_name(self, var: int) -> str:
+        return self._var_names[var]
+
+    def var_by_name(self, name: str) -> int:
+        return self._name_to_var[name]
+
+    def level_of_var(self, var: int) -> int:
+        return self._var2level[var]
+
+    def var_at_level(self, level: int) -> int:
+        return self._level2var[level]
+
+    def current_order(self) -> List[int]:
+        """Variables from top level to bottom level."""
+        return list(self._level2var)
+
+    # ------------------------------------------------------------------
+    # Structural accessors
+    # ------------------------------------------------------------------
+
+    def var_of(self, ref: int) -> int:
+        """Variable labelling the top node of ``ref`` (TERMINAL for constants)."""
+        return self._var[ref >> 1]
+
+    def level(self, ref: int) -> int:
+        """Level of the top node of ``ref`` (TERMINAL for constants)."""
+        var = self._var[ref >> 1]
+        if var == TERMINAL:
+            return TERMINAL
+        return self._var2level[var]
+
+    def is_const(self, ref: int) -> bool:
+        return ref >> 1 == 0
+
+    def is_var(self, ref: int) -> bool:
+        """True if ``ref`` is a plain positive or negative literal."""
+        idx = ref >> 1
+        if idx == 0:
+            return False
+        lo, hi = self._lo[idx], self._hi[idx]
+        return (lo == ZERO and hi == ONE) or (lo == ONE and hi == ZERO)
+
+    def is_complemented(self, ref: int) -> bool:
+        return bool(ref & 1)
+
+    def children(self, ref: int) -> Tuple[int, int]:
+        """Phase-corrected (else, then) child refs of ``ref``.
+
+        The returned refs denote the actual cofactor *functions* of ``ref``
+        with respect to its top variable, i.e. the complement bit of ``ref``
+        is pushed onto the children.  This gives a view of the BDD "without
+        complement edges" in which every vertex is a phased ref -- the view
+        on which the paper's path/dominator definitions operate.
+        """
+        idx, phase = ref >> 1, ref & 1
+        return self._lo[idx] ^ phase, self._hi[idx] ^ phase
+
+    def node(self, ref: int) -> Tuple[int, int, int]:
+        """Raw stored triple (var, lo, hi) of the node under ``ref``."""
+        idx = ref >> 1
+        return self._var[idx], self._lo[idx], self._hi[idx]
+
+    @property
+    def num_nodes_allocated(self) -> int:
+        """Total nodes ever allocated (including dead ones)."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def mk(self, var: int, lo: int, hi: int) -> int:
+        """Return the canonical ref for ``var ? hi : lo``.
+
+        Applies the reduction rule (``lo == hi``) and the complement-edge
+        normalization (stored *then* edges are never complemented).
+        """
+        if lo == hi:
+            return lo
+        if hi & 1:
+            return self._mk_raw(var, lo ^ 1, hi ^ 1) ^ 1
+        return self._mk_raw(var, lo, hi)
+
+    def _mk_raw(self, var: int, lo: int, hi: int) -> int:
+        key = (var, lo, hi)
+        idx = self._unique.get(key)
+        if idx is None:
+            idx = len(self._var)
+            self._var.append(var)
+            self._lo.append(lo)
+            self._hi.append(hi)
+            self._unique[key] = idx
+            self._nodes_by_var[var].append(idx)
+        return idx << 1
+
+    def var_ref(self, var: int) -> int:
+        """The literal function of variable ``var``."""
+        return self.mk(var, ZERO, ONE)
+
+    def literal(self, var: int, positive: bool = True) -> int:
+        ref = self.var_ref(var)
+        return ref if positive else ref ^ 1
+
+    # ------------------------------------------------------------------
+    # ITE and derived operators
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f & g | ~f & h``."""
+        # Terminal cases.
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        if g == ZERO and h == ONE:
+            return f ^ 1
+        # Standard normalizations reduce the cache footprint.
+        if g == f:
+            g = ONE
+        elif g == (f ^ 1):
+            g = ZERO
+        if h == f:
+            h = ZERO
+        elif h == (f ^ 1):
+            h = ONE
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        if g == ZERO and h == ONE:
+            return f ^ 1
+        # Symmetry: ite(f,1,h) == ite(h,1,f); ite(f,g,0) == ite(g,f,0);
+        # prefer the smaller top level first for a canonical cache key.
+        if g == ONE and self.level(h) < self.level(f):
+            f, h = h, f
+        elif h == ZERO and self.level(g) < self.level(f):
+            f, g = g, f
+        elif h == ONE and self.level(g) < self.level(f):
+            f, g = g ^ 1, f ^ 1
+        elif g == ZERO and self.level(h) < self.level(f):
+            f, h = h ^ 1, f ^ 1
+        # Canonical polarity: first argument regular.
+        if f & 1:
+            f, g, h = f ^ 1, h, g
+        # Output polarity: g regular.
+        out_phase = 0
+        if g & 1:
+            g, h, out_phase = g ^ 1, h ^ 1, 1
+        key = (0, f, g, h)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached ^ out_phase
+        lf, lg, lh = self.level(f), self.level(g), self.level(h)
+        top = min(lf, lg, lh)
+        var = self._level2var[top]
+        f0, f1 = (self.children(f) if lf == top else (f, f))
+        g0, g1 = (self.children(g) if lg == top else (g, g))
+        h0, h1 = (self.children(h) if lh == top else (h, h))
+        r = self.mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._cache[key] = r
+        return r ^ out_phase
+
+    def not_(self, f: int) -> int:
+        return f ^ 1
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, ZERO)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, ONE, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        return self.ite(f, g ^ 1, g)
+
+    def xnor_(self, f: int, g: int) -> int:
+        return self.ite(f, g, g ^ 1)
+
+    def nand_(self, f: int, g: int) -> int:
+        return self.and_(f, g) ^ 1
+
+    def nor_(self, f: int, g: int) -> int:
+        return self.or_(f, g) ^ 1
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, ONE)
+
+    def and_many(self, refs: Sequence[int]) -> int:
+        out = ONE
+        for r in refs:
+            out = self.and_(out, r)
+            if out == ZERO:
+                return ZERO
+        return out
+
+    def or_many(self, refs: Sequence[int]) -> int:
+        out = ZERO
+        for r in refs:
+            out = self.or_(out, r)
+            if out == ONE:
+                return ONE
+        return out
+
+    def xor_many(self, refs: Sequence[int]) -> int:
+        out = ZERO
+        for r in refs:
+            out = self.xor_(out, r)
+        return out
+
+    def leq(self, f: int, g: int) -> bool:
+        """True iff ``f`` implies ``g`` (ON(f) subset of ON(g))."""
+        return self.and_(f, g ^ 1) == ZERO
+
+    # ------------------------------------------------------------------
+    # Cofactors, composition, quantification
+    # ------------------------------------------------------------------
+
+    def cofactor(self, f: int, var: int, value: bool) -> int:
+        """Shannon cofactor of ``f`` with respect to ``var = value``."""
+        key = (1, f, var, value)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        lv = self._var2level[var]
+        lf = self.level(f)
+        if lf > lv:
+            r = f
+        elif lf == lv:
+            lo, hi = self.children(f)
+            r = hi if value else lo
+        else:
+            lo, hi = self.children(f)
+            fvar = self.var_of(f)
+            r = self.mk(
+                fvar,
+                self.cofactor(lo, var, value),
+                self.cofactor(hi, var, value),
+            )
+        self._cache[key] = r
+        return r
+
+    def cofactor_cube(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor with respect to several variable assignments."""
+        out = f
+        for var, value in assignment.items():
+            out = self.cofactor(out, var, value)
+        return out
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` in ``f``."""
+        return self._compose(f, var, g, self._var2level[var])
+
+    def _compose(self, f: int, var: int, g: int, lv: int) -> int:
+        if self.level(f) > lv:
+            return f
+        key = (2, f, var, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        fvar = self.var_of(f)
+        lo, hi = self.children(f)
+        if fvar == var:
+            r = self.ite(g, hi, lo)
+        else:
+            r0 = self._compose(lo, var, g, lv)
+            r1 = self._compose(hi, var, g, lv)
+            # fvar may be above or below var's level relative to substituted
+            # functions; rebuild with ITE on the literal to stay canonical.
+            r = self.ite(self.var_ref(fvar), r1, r0)
+        self._cache[key] = r
+        return r
+
+    def vector_compose(self, f: int, subst: Dict[int, int]) -> int:
+        """Simultaneously substitute ``subst[var]`` for each variable."""
+        if not subst:
+            return f
+        token = tuple(sorted(subst.items()))
+        return self._vector_compose(f, subst, hash(token), token)
+
+    def _vector_compose(self, f: int, subst: Dict[int, int], token_hash: int,
+                        token: Tuple) -> int:
+        if self.is_const(f):
+            return f
+        key = (3, f, token_hash, token)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        fvar = self.var_of(f)
+        lo, hi = self.children(f)
+        r0 = self._vector_compose(lo, subst, token_hash, token)
+        r1 = self._vector_compose(hi, subst, token_hash, token)
+        g = subst.get(fvar)
+        if g is None:
+            g = self.var_ref(fvar)
+        r = self.ite(g, r1, r0)
+        self._cache[key] = r
+        return r
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification over ``variables``."""
+        levels = frozenset(self._var2level[v] for v in variables)
+        if not levels:
+            return f
+        return self._exists(f, levels, max(levels))
+
+    def _exists(self, f: int, levels: frozenset, max_level: int) -> int:
+        lf = self.level(f)
+        if lf > max_level:
+            return f
+        key = (4, f, levels)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        lo, hi = self.children(f)
+        r0 = self._exists(lo, levels, max_level)
+        r1 = self._exists(hi, levels, max_level)
+        if lf in levels:
+            r = self.or_(r0, r1)
+        else:
+            r = self.mk(self.var_of(f), r0, r1)
+        self._cache[key] = r
+        return r
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        return self.exists(f ^ 1, variables) ^ 1
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop the computed table (unique table is kept)."""
+        self._cache.clear()
+
+    def cache_size(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,271 @@
+"""Variable reordering: Rudell sifting plus cheap ordering heuristics.
+
+The BDS flow reorders every local BDD before decomposition ("a BDD is first
+subjected to a variable reordering [30] ... a means to achieve an initial
+logic simplification", Section IV-C).  We implement:
+
+* :func:`swap_adjacent` -- the in-place adjacent-level swap primitive.
+  External refs stay valid because affected nodes are mutated in place;
+  the proofs that no redundant or duplicate node can arise during a swap
+  are in DESIGN.md Section 6 commentary (standard Rudell argument adapted
+  to complement edges: new *then* children are always regular).
+* :func:`sift` -- full sifting over live size measured from a root set.
+* :func:`force_order` -- the FORCE (hypergraph barycenter) heuristic for a
+  good *initial* order of a multi-rooted collection, used when building
+  local BDDs for a partitioned network.
+* :func:`random_order` -- for tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.bdd.manager import BDD, TERMINAL
+from repro.bdd.traverse import live_nodes, support
+
+
+DEAD = -1  # tombstone var id for purged nodes
+
+
+def swap_adjacent(mgr: BDD, level: int, live=None) -> None:
+    """Swap the variables at ``level`` and ``level + 1`` in place.
+
+    Every external ref keeps denoting the same Boolean function.  When a
+    ``live`` node-index set is given, dead nodes at the upper level are
+    purged (unique-table entry removed, var tombstoned) instead of being
+    swapped -- both a large speedup during sifting and the guard against
+    resurrecting a dead node whose children have moved above it.
+    """
+    x = mgr._level2var[level]
+    y = mgr._level2var[level + 1]
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    unique = mgr._unique
+    # Snapshot of x-labelled nodes; mk() during the loop may append new ones
+    # which must not be processed.
+    x_nodes = []
+    for i in mgr._nodes_by_var[x]:
+        if var_arr[i] != x:
+            continue
+        if live is not None and i not in live:
+            del unique[(x, lo_arr[i], hi_arr[i])]
+            var_arr[i] = DEAD
+            continue
+        x_nodes.append(i)
+    mgr._nodes_by_var[x] = x_nodes
+    for n in x_nodes:
+        f0, f1 = lo_arr[n], hi_arr[n]
+        dep0 = var_arr[f0 >> 1] == y
+        dep1 = var_arr[f1 >> 1] == y
+        if not (dep0 or dep1):
+            continue
+        if dep0:
+            p = f0 & 1
+            f00, f01 = lo_arr[f0 >> 1] ^ p, hi_arr[f0 >> 1] ^ p
+        else:
+            f00 = f01 = f0
+        if dep1:
+            p = f1 & 1
+            f10, f11 = lo_arr[f1 >> 1] ^ p, hi_arr[f1 >> 1] ^ p
+        else:
+            f10 = f11 = f1
+        new_lo = mgr.mk(x, f00, f10)
+        new_hi = mgr.mk(x, f01, f11)
+        # By the swap invariants new_hi is regular and (y, new_lo, new_hi)
+        # collides with no existing node; mutate n in place.
+        assert not (new_hi & 1), "swap produced a complemented then-edge"
+        del unique[(x, f0, f1)]
+        var_arr[n] = y
+        lo_arr[n] = new_lo
+        hi_arr[n] = new_hi
+        unique[(y, new_lo, new_hi)] = n
+        mgr._nodes_by_var[y].append(n)
+    # Nodes that kept var x remain valid; stale entries in _nodes_by_var
+    # are filtered lazily.  Finally swap the level maps.
+    mgr._level2var[level], mgr._level2var[level + 1] = y, x
+    mgr._var2level[x], mgr._var2level[y] = level + 1, level
+    # Cached operator results still denote the same functions, but cofactor
+    # caches keyed by (f, var) would now disagree with structural
+    # expectations in long-lived flows; drop the computed table for safety.
+    mgr._cache.clear()
+
+
+def move_var_to_level(mgr: BDD, var: int, target: int, roots=None) -> None:
+    """Move one variable to ``target`` level via adjacent swaps."""
+    cur = mgr._var2level[var]
+    while cur < target:
+        live = live_nodes(mgr, roots) if roots is not None else None
+        swap_adjacent(mgr, cur, live)
+        cur += 1
+    while cur > target:
+        live = live_nodes(mgr, roots) if roots is not None else None
+        swap_adjacent(mgr, cur - 1, live)
+        cur -= 1
+
+
+def collect_garbage(mgr: BDD, roots: Sequence[int]) -> int:
+    """Purge every node unreachable from ``roots``: remove its unique-table
+    entry and tombstone it so it can never be resurrected by ``mk``.
+
+    Returns the number of nodes purged.  All refs other than those
+    reachable from ``roots`` become invalid.
+    """
+    live = live_nodes(mgr, roots)
+    purged = 0
+    for idx in range(1, len(mgr._var)):
+        var = mgr._var[idx]
+        if var == DEAD or idx in live:
+            continue
+        key = (var, mgr._lo[idx], mgr._hi[idx])
+        if mgr._unique.get(key) == idx:
+            del mgr._unique[key]
+        mgr._var[idx] = DEAD
+        purged += 1
+    for var, nodes in mgr._nodes_by_var.items():
+        mgr._nodes_by_var[var] = [i for i in nodes if mgr._var[i] == var]
+    mgr._cache.clear()
+    return purged
+
+
+def sift(mgr: BDD, roots: Sequence[int], max_vars: int = 0,
+         max_growth: float = 1.5, size_limit: int = 200000) -> int:
+    """Rudell sifting: move each variable to its locally best level.
+
+    ``roots`` defines liveness; size is the shared live node count of the
+    root set.  Returns the final live size.  ``max_vars`` limits sifting to
+    the N variables with most nodes (0 = all).
+
+    All refs not reachable from ``roots`` are invalidated (dead nodes are
+    purged so that in-place reordering stays canonical).
+    """
+    state = {"live": live_nodes(mgr, roots)}
+
+    def live_size() -> int:
+        state["live"] = live_nodes(mgr, roots)
+        return len(state["live"]) - 1
+
+    def do_swap(lvl: int) -> None:
+        swap_adjacent(mgr, lvl, state["live"])
+
+    size = live_size()
+    if size > size_limit:
+        return size
+    # Count live nodes per variable to choose sifting order.
+    per_var: Dict[int, int] = {}
+    for idx in state["live"]:
+        if idx == 0:
+            continue
+        per_var[mgr._var[idx]] = per_var.get(mgr._var[idx], 0) + 1
+    candidates = sorted(per_var, key=lambda v: -per_var[v])
+    if max_vars:
+        candidates = candidates[:max_vars]
+    nlevels = mgr.num_vars
+    for var in candidates:
+        start = mgr._var2level[var]
+        best_level, best_size = start, live_size()
+        limit = int(best_size * max_growth) + 2
+        # Sift toward the bottom first, then sweep to the top.
+        cur = start
+        while cur < nlevels - 1:
+            do_swap(cur)
+            cur += 1
+            s = live_size()
+            if s < best_size:
+                best_size, best_level = s, cur
+            if s > limit:
+                break
+        while cur > 0:
+            do_swap(cur - 1)
+            cur -= 1
+            s = live_size()
+            if s < best_size:
+                best_size, best_level = s, cur
+            if s > limit and cur < start:
+                break
+        move_var_to_level(mgr, var, best_level, roots=roots)
+        live_size()
+    collect_garbage(mgr, roots)
+    return live_size()
+
+
+def window3(mgr: BDD, roots: Sequence[int], passes: int = 2) -> int:
+    """Window-permutation reordering: exhaustively permute every window of
+    three adjacent levels, keeping the best live size.  Cheaper than full
+    sifting and often a good finisher after it.  Returns the final size.
+
+    Like :func:`sift`, refs not reachable from ``roots`` are invalidated.
+    """
+    # The six permutations of (0,1,2) as adjacent-swap programs relative
+    # to the current window state; each entry appends one swap (by window
+    # offset) forming the cyclic Steinhaus sequence 012 -> 102 -> 120 ->
+    # 210 -> 201 -> 021 -> (012).
+    program = [0, 1, 0, 1, 0]
+
+    def live_size() -> int:
+        return len(live_nodes(mgr, roots)) - 1
+
+    def do_swap(level: int) -> None:
+        swap_adjacent(mgr, level, live_nodes(mgr, roots))
+
+    size = live_size()
+    for _ in range(passes):
+        improved = False
+        for base in range(mgr.num_vars - 2):
+            best_size = live_size()
+            best_state = 0
+            for state, offset in enumerate(program, start=1):
+                do_swap(base + offset)
+                s = live_size()
+                if s < best_size:
+                    best_size, best_state = s, state
+            # One more swap returns to the original permutation (state 0);
+            # then replay to the best state.
+            do_swap(base + 1)
+            for offset in program[:best_state]:
+                do_swap(base + offset)
+            if best_size < size:
+                size = best_size
+                improved = True
+        if not improved:
+            break
+    collect_garbage(mgr, roots)
+    return live_size()
+
+
+def random_order(mgr: BDD, rng: random.Random) -> None:
+    """Shuffle the variable order in place (testing utility)."""
+    levels = list(range(mgr.num_vars))
+    rng.shuffle(levels)
+    for target, var in enumerate([mgr._level2var[l] for l in levels]):
+        # Selection-sort style: place each var at its target level.
+        move_var_to_level(mgr, var, target)
+
+
+def force_order(var_groups: Iterable[Sequence[int]], num_vars: int,
+                iterations: int = 20) -> List[int]:
+    """FORCE ordering heuristic over a hypergraph of variable groups.
+
+    ``var_groups`` are hyperedges (e.g. the supports of each output or each
+    network node).  Returns a variable order (list of var ids, top first)
+    that tends to keep tightly connected variables adjacent -- a cheap,
+    effective initial order for multi-rooted BDD construction.
+    """
+    groups = [list(g) for g in var_groups if g]
+    position = {v: float(i) for i, v in enumerate(range(num_vars))}
+    for _ in range(iterations):
+        centers = []
+        for g in groups:
+            centers.append(sum(position[v] for v in g) / len(g))
+        pull: Dict[int, List[float]] = {}
+        for g, c in zip(groups, centers):
+            for v in g:
+                pull.setdefault(v, []).append(c)
+        new_pos = {}
+        for v in range(num_vars):
+            if v in pull:
+                new_pos[v] = sum(pull[v]) / len(pull[v])
+            else:
+                new_pos[v] = position[v]
+        ranked = sorted(range(num_vars), key=lambda v: new_pos[v])
+        position = {v: float(i) for i, v in enumerate(ranked)}
+    return sorted(range(num_vars), key=lambda v: position[v])

@@ -1,0 +1,261 @@
+"""Traversal utilities: support, size, evaluation, SAT- and path-counting.
+
+Path statistics are central to the paper's structural decompositions: the
+dominator definitions (Definitions 2-4, 9-10) are stated on the *expanded*
+view of a complement-edge BDD in which every vertex is a phased ref (see
+:meth:`repro.bdd.manager.BDD.children`).  All functions here operate on that
+view, so "node" below means a phased ref unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.bdd.manager import BDD, ONE, TERMINAL, ZERO
+
+
+def support(mgr: BDD, ref: int) -> Set[int]:
+    """Set of variables the function depends on."""
+    seen: Set[int] = set()
+    out: Set[int] = set()
+    stack = [ref >> 1]
+    while stack:
+        idx = stack.pop()
+        if idx == 0 or idx in seen:
+            continue
+        seen.add(idx)
+        out.add(mgr._var[idx])
+        stack.append(mgr._lo[idx] >> 1)
+        stack.append(mgr._hi[idx] >> 1)
+    return out
+
+
+def support_many(mgr: BDD, refs: Iterable[int]) -> Set[int]:
+    out: Set[int] = set()
+    for ref in refs:
+        out |= support(mgr, ref)
+    return out
+
+
+def node_count(mgr: BDD, ref: int) -> int:
+    """Number of BDD nodes reachable from ``ref`` (excluding the terminal)."""
+    return shared_node_count(mgr, [ref])
+
+
+def shared_node_count(mgr: BDD, refs: Sequence[int]) -> int:
+    """Nodes in the shared DAG of several functions (excluding the terminal).
+
+    This is the paper's cost function for *eliminate* (Section IV-B): the
+    size of a set of local BDDs counted with sharing.
+    """
+    seen: Set[int] = set()
+    stack = [r >> 1 for r in refs]
+    while stack:
+        idx = stack.pop()
+        if idx == 0 or idx in seen:
+            continue
+        seen.add(idx)
+        stack.append(mgr._lo[idx] >> 1)
+        stack.append(mgr._hi[idx] >> 1)
+    return len(seen)
+
+
+def live_nodes(mgr: BDD, refs: Sequence[int]) -> Set[int]:
+    """Node indices reachable from ``refs`` (including the terminal)."""
+    seen: Set[int] = {0}
+    stack = [r >> 1 for r in refs]
+    while stack:
+        idx = stack.pop()
+        if idx in seen:
+            continue
+        seen.add(idx)
+        stack.append(mgr._lo[idx] >> 1)
+        stack.append(mgr._hi[idx] >> 1)
+    return seen
+
+
+def evaluate(mgr: BDD, ref: int, assignment: Dict[int, bool]) -> bool:
+    """Evaluate the function under a (complete for its support) assignment."""
+    while not mgr.is_const(ref):
+        lo, hi = mgr.children(ref)
+        ref = hi if assignment[mgr.var_of(ref)] else lo
+    return ref == ONE
+
+
+def sat_count(mgr: BDD, ref: int, nvars: int) -> int:
+    """Number of satisfying assignments over ``nvars`` variables.
+
+    ``nvars`` must be at least the size of the function's support.  The
+    count is taken over the support and scaled by the free variables, so it
+    is independent of the manager's variable order and of unrelated
+    variables living in the same manager.
+    """
+    if mgr.is_const(ref):
+        return (1 << nvars) if ref == ONE else 0
+    supp_levels = sorted(mgr.level_of_var(v) for v in support(mgr, ref))
+    if nvars < len(supp_levels):
+        raise ValueError("nvars smaller than the function's support")
+    # rank_below[l] -> number of support levels strictly greater than l.
+    import bisect
+
+    def vars_between(upper_level: int, lower_level: int) -> int:
+        """Support variables with level in the open interval."""
+        left = bisect.bisect_right(supp_levels, upper_level)
+        if lower_level == TERMINAL:
+            right = len(supp_levels)
+        else:
+            right = bisect.bisect_left(supp_levels, lower_level)
+        return right - left
+
+    memo: Dict[int, int] = {ONE: 1, ZERO: 0}
+
+    def count(r: int) -> int:
+        if r in memo:
+            return memo[r]
+        lo, hi = mgr.children(r)
+        lr = mgr.level(r)
+        n = count(lo) * (1 << vars_between(lr, mgr.level(lo)))
+        n += count(hi) * (1 << vars_between(lr, mgr.level(hi)))
+        memo[r] = n
+        return n
+
+    top_free = bisect.bisect_left(supp_levels, mgr.level(ref))
+    over_support = count(ref) * (1 << top_free)
+    return over_support << (nvars - len(supp_levels))
+
+
+def pick_assignment(mgr: BDD, ref: int) -> Dict[int, bool]:
+    """Return one satisfying assignment (partial, over decided vars).
+
+    Raises ``ValueError`` on the constant-false function.
+    """
+    if ref == ZERO:
+        raise ValueError("function is unsatisfiable")
+    out: Dict[int, bool] = {}
+    while ref != ONE:
+        lo, hi = mgr.children(ref)
+        var = mgr.var_of(ref)
+        if hi != ZERO:
+            out[var] = True
+            ref = hi
+        else:
+            out[var] = False
+            ref = lo
+    return out
+
+
+# ----------------------------------------------------------------------
+# Phased-vertex (expanded graph) machinery for the decomposition engine
+# ----------------------------------------------------------------------
+
+
+def phased_vertices(mgr: BDD, root: int) -> List[int]:
+    """All phased refs reachable from ``root``, in reverse topological order.
+
+    Terminals (``ONE``/``ZERO``) are included when reachable.  The order
+    guarantees children precede parents.
+    """
+    order: List[int] = []
+    seen: Set[int] = set()
+    stack: List[Tuple[int, bool]] = [(root, False)]
+    while stack:
+        ref, expanded = stack.pop()
+        if expanded:
+            order.append(ref)
+            continue
+        if ref in seen:
+            continue
+        seen.add(ref)
+        stack.append((ref, True))
+        if not mgr.is_const(ref):
+            lo, hi = mgr.children(ref)
+            stack.append((lo, False))
+            stack.append((hi, False))
+    return order
+
+
+def count_paths_to_terminals(mgr: BDD, root: int) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """For every reachable phased vertex, the number of 1-paths and 0-paths
+    from that vertex down to the terminals.
+
+    Returns ``(one_paths, zero_paths)`` dicts keyed by phased ref.
+    """
+    one: Dict[int, int] = {ONE: 1, ZERO: 0}
+    zero: Dict[int, int] = {ONE: 0, ZERO: 1}
+    for ref in phased_vertices(mgr, root):
+        if mgr.is_const(ref):
+            continue
+        lo, hi = mgr.children(ref)
+        one[ref] = one[lo] + one[hi]
+        zero[ref] = zero[lo] + zero[hi]
+    return one, zero
+
+
+def count_paths_from_root(mgr: BDD, root: int) -> Dict[int, int]:
+    """For every reachable phased vertex, the number of edge-paths from the
+    root down to that vertex (the root maps to 1)."""
+    incoming: Dict[int, int] = {root: 1}
+    for ref in reversed(phased_vertices(mgr, root)):
+        if mgr.is_const(ref):
+            continue
+        n = incoming.get(ref, 0)
+        if n == 0:
+            continue
+        lo, hi = mgr.children(ref)
+        incoming[lo] = incoming.get(lo, 0) + n
+        incoming[hi] = incoming.get(hi, 0) + n
+    return incoming
+
+
+def leaf_edge_stats(mgr: BDD, root: int) -> Tuple[int, int, int]:
+    """Count (edges_to_one, edges_to_zero, complement_edges) of the BDD.
+
+    Leaf edges drive the choice between AND/OR-style decomposition (rich in
+    leaf edges) and XOR-style decomposition (rich in complement edges) --
+    this is the paper's "BDD structural scan" (Section IV-C).
+    """
+    to_one = to_zero = comp = 0
+    if root & 1:
+        comp += 1
+    for ref in phased_vertices(mgr, root):
+        if mgr.is_const(ref):
+            continue
+        lo, hi = mgr.children(ref)
+        for child in (lo, hi):
+            if child == ONE:
+                to_one += 1
+            elif child == ZERO:
+                to_zero += 1
+        # A stored complement edge exists where the raw lo pointer carries
+        # the complement bit (stored hi edges are never complemented).
+        _, raw_lo, _ = mgr.node(ref)
+        if raw_lo & 1:
+            comp += 1
+    return to_one, to_zero, comp
+
+
+def iter_paths(mgr: BDD, root: int, limit: int = 100000) -> Iterator[Tuple[Dict[int, bool], bool]]:
+    """Enumerate (cube, terminal_value) for every path of the BDD.
+
+    Intended for tests on small functions; raises if more than ``limit``
+    paths would be produced.
+    """
+    produced = 0
+
+    def rec(ref: int, cube: Dict[int, bool]):
+        nonlocal produced
+        if mgr.is_const(ref):
+            produced += 1
+            if produced > limit:
+                raise RuntimeError("too many paths")
+            yield dict(cube), ref == ONE
+            return
+        var = mgr.var_of(ref)
+        lo, hi = mgr.children(ref)
+        cube[var] = False
+        yield from rec(lo, cube)
+        cube[var] = True
+        yield from rec(hi, cube)
+        del cube[var]
+
+    yield from rec(root, {})

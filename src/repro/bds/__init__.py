@@ -1,0 +1,11 @@
+"""The BDS synthesis system: the complete flow of Fig. 12 (right side).
+
+``bds_optimize`` runs: network sweep -> BDD-based eliminate (partitioning
+into supernodes, with BDD mapping) -> per-supernode variable reordering ->
+recursive BDD decomposition into factoring trees -> sharing extraction ->
+gate-level network.
+"""
+
+from repro.bds.flow import BDSOptions, BDSResult, bds_optimize
+
+__all__ = ["BDSOptions", "BDSResult", "bds_optimize"]

@@ -1,0 +1,134 @@
+"""The top-level BDS optimization flow (Section IV).
+
+Mirrors Fig. 12's right-hand column:
+
+1. *Sweep* -- constant propagation, removal of single-input and
+   functionally equivalent nodes (Section IV-A).
+2. *Eliminate* -- partial collapsing into supernodes with the BDD-node-count
+   value function and periodic BDD mapping (Section IV-B).
+3. Per supernode: *variable reordering* (sifting) as initial logic
+   simplification, then *recursive BDD decomposition* into a factoring
+   tree (Section IV-C).
+4. *Sharing extraction* across all factoring trees via BDD canonicity.
+5. Lowering to a 2-input gate network (AND/OR/XOR/XNOR/NOT/MUX),
+   followed by a final structural sweep.
+
+The returned :class:`BDSResult` carries the optimized network plus the
+statistics the experiments report (decomposition mix, phase timings,
+supernode count, BDD-mapping invocations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bdd import transfer_many
+from repro.bdd.reorder import sift
+from repro.decomp import extract_sharing, trees_to_network
+from repro.decomp.engine import DecompOptions, DecompStats, decompose
+from repro.network import Network, sweep
+from repro.network.eliminate import PartitionedNetwork
+
+
+@dataclass
+class BDSOptions:
+    """Knobs of the BDS flow; defaults match the paper's described setup."""
+
+    eliminate_threshold: int = 0
+    eliminate_size_cap: int = 1000
+    use_bdd_mapping: bool = True
+    reorder: bool = True
+    sift_size_limit: int = 20000
+    decomp: DecompOptions = field(default_factory=DecompOptions)
+    sharing: bool = True
+    final_sweep: bool = True
+    sweep_merge_equivalent: bool = True
+    # Section VI item 3 (future work in the paper, implemented here):
+    # depth-balance the factoring trees before sharing extraction.
+    balance_trees: bool = False
+    # Section VI item 1 (future work in the paper, implemented here):
+    # minimize supernodes against satisfiability don't-cares.
+    use_sdc: bool = False
+
+
+@dataclass
+class BDSResult:
+    network: Network
+    decomp_stats: DecompStats
+    timings: Dict[str, float]
+    supernodes: int
+    mapping_count: int
+
+    def summary(self) -> str:
+        s = self.network.stats()
+        return ("nodes=%d literals=%d depth=%d supernodes=%d | %s"
+                % (s["nodes"], s["literals"], s["depth"], self.supernodes,
+                   " ".join("%s=%.3fs" % kv for kv in sorted(self.timings.items()))))
+
+
+def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResult:
+    """Run the full BDS flow on a copy of ``net``."""
+    opts = options or BDSOptions()
+    timings: Dict[str, float] = {}
+    work = net.copy()
+
+    t0 = time.perf_counter()
+    sweep(work, merge_equivalent=opts.sweep_merge_equivalent)
+    timings["sweep"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    part = PartitionedNetwork.from_network(work)
+    part.eliminate(threshold=opts.eliminate_threshold,
+                   size_cap=opts.eliminate_size_cap,
+                   use_mapping=opts.use_bdd_mapping)
+    timings["eliminate"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if opts.use_sdc:
+        from repro.bds.dontcare import minimize_with_sdc
+
+        minimize_with_sdc(part)
+    timings["sdc"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    stats = DecompStats()
+    trees = {}
+    for name in sorted(part.refs):
+        trees[name] = _decompose_supernode(part, name, opts, stats)
+    timings["decompose"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if opts.balance_trees:
+        from repro.decomp.balance import balance_forest
+
+        trees = balance_forest(trees)
+    timings["balance"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if opts.sharing:
+        trees = extract_sharing(trees)
+    timings["sharing"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    gate_net = trees_to_network(trees, inputs=work.inputs,
+                                outputs=work.outputs, name=net.name)
+    if opts.final_sweep:
+        sweep(gate_net, merge_equivalent=False)
+    timings["lower"] = time.perf_counter() - t0
+
+    return BDSResult(gate_net, stats, timings, supernodes=len(trees),
+                     mapping_count=part.mapping_count)
+
+
+def _decompose_supernode(part: PartitionedNetwork, name: str,
+                         opts: BDSOptions, stats: DecompStats):
+    """Reorder and decompose one supernode in a private manager."""
+    ref = part.refs[name]
+    result = transfer_many(part.mgr, [ref])
+    mgr, local = result.manager, result.refs[0]
+    if opts.reorder and not mgr.is_const(local):
+        sift(mgr, [local], size_limit=opts.sift_size_limit)
+    tree = decompose(mgr, local, options=opts.decomp, stats=stats)
+    return tree.map_vars(mgr.var_name)

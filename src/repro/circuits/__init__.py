@@ -1,0 +1,44 @@
+"""Benchmark circuit generators.
+
+The paper evaluates on MCNC / ISCAS-85 / LGSynth91 circuits and on a
+proprietary family of arithmetic circuits (barrel shifters, multipliers).
+Those benchmark *files* are not available offline, so this package provides
+parametric generators for the same functional classes (see DESIGN.md,
+"Substitutions"):
+
+``arith``      adders, array multipliers (mNxN), barrel shifters (bshiftN),
+               comparators, parity trees, ALUs
+``iscas``      functional equivalents of the ISCAS-85 circuits used in
+               Table I (ECC circuits for C499/C1355/C1908, ALUs for
+               C880/C3540, multiplier for C6288, adder/comparator for
+               C7552, priority+parity controller for C432, ...)
+``randlogic``  seeded random-logic networks (stand-ins for pair, rot,
+               dalu, vda and the small MCNC random-logic set)
+``registry``   name -> builder map with the table memberships
+"""
+
+from repro.circuits.arith import (
+    array_multiplier,
+    barrel_shifter,
+    comparator,
+    parity_tree,
+    ripple_adder,
+    simple_alu,
+)
+from repro.circuits.iscas import iscas_equivalent
+from repro.circuits.randlogic import random_logic
+from repro.circuits.registry import (
+    TABLE1_CIRCUITS,
+    TABLE2_MULTIPLIERS,
+    TABLE2_SHIFTERS,
+    SMALL_ANDOR,
+    SMALL_XOR,
+    build_circuit,
+)
+
+__all__ = [
+    "array_multiplier", "barrel_shifter", "comparator", "parity_tree",
+    "ripple_adder", "simple_alu", "iscas_equivalent", "random_logic",
+    "TABLE1_CIRCUITS", "TABLE2_MULTIPLIERS", "TABLE2_SHIFTERS",
+    "SMALL_ANDOR", "SMALL_XOR", "build_circuit",
+]

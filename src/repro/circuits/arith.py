@@ -1,0 +1,202 @@
+"""Arithmetic circuit generators: the Table II family and ALU components.
+
+All builders return gate-level :class:`Network` objects built from 2-input
+AND/OR/XOR primitives (plus MUX for the shifters), i.e. the same kind of
+structural netlists an HDL-to-blif translator (the paper's source for
+these circuits) would emit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.network.network import Network
+
+
+def _full_adder(net: Network, a: str, b: str, cin: Optional[str],
+                prefix: str) -> Tuple[str, str]:
+    """Add one bit column; returns (sum, carry)."""
+    if cin is None:
+        s = net.add_xor(prefix + "_s", [a, b])
+        c = net.add_and(prefix + "_c", [a, b])
+        return s, c
+    t = net.add_xor(prefix + "_t", [a, b])
+    s = net.add_xor(prefix + "_s", [t, cin])
+    u = net.add_and(prefix + "_u", [t, cin])
+    v = net.add_and(prefix + "_v", [a, b])
+    c = net.add_or(prefix + "_c", [u, v])
+    return s, c
+
+
+def ripple_adder(bits: int, name: str = "") -> Network:
+    """N-bit ripple-carry adder: 2N inputs, N+1 outputs."""
+    net = Network(name or "add%d" % bits)
+    a = [net.add_input("a%d" % i) for i in range(bits)]
+    b = [net.add_input("b%d" % i) for i in range(bits)]
+    carry = None
+    for i in range(bits):
+        s, carry = _full_adder(net, a[i], b[i], carry, "fa%d" % i)
+        net.add_output(s)
+    net.add_output(carry)
+    return net
+
+
+def array_multiplier(bits: int, name: str = "") -> Network:
+    """N x N array multiplier (the paper's ``mNxN``): 2N in, 2N out."""
+    net = Network(name or "m%dx%d" % (bits, bits))
+    a = [net.add_input("a%d" % i) for i in range(bits)]
+    b = [net.add_input("b%d" % i) for i in range(bits)]
+    # Partial products.
+    columns: List[List[str]] = [[] for _ in range(2 * bits)]
+    for i in range(bits):
+        for j in range(bits):
+            pp = net.add_and("pp_%d_%d" % (i, j), [a[i], b[j]])
+            columns[i + j].append(pp)
+    # Carry-save reduction, column by column.
+    counter = [0]
+
+    def fa(x, y, z):
+        counter[0] += 1
+        p = "csa%d" % counter[0]
+        t = net.add_xor(p + "_t", [x, y])
+        s = net.add_xor(p + "_s", [t, z])
+        u = net.add_and(p + "_u", [t, z])
+        v = net.add_and(p + "_v", [x, y])
+        c = net.add_or(p + "_c", [u, v])
+        return s, c
+
+    def ha(x, y):
+        counter[0] += 1
+        p = "ha%d" % counter[0]
+        s = net.add_xor(p + "_s", [x, y])
+        c = net.add_and(p + "_c", [x, y])
+        return s, c
+
+    for col in range(2 * bits):
+        while len(columns[col]) > 1:
+            if len(columns[col]) >= 3:
+                x, y, z = columns[col][:3]
+                columns[col] = columns[col][3:]
+                s, c = fa(x, y, z)
+            else:
+                x, y = columns[col][:2]
+                columns[col] = columns[col][2:]
+                s, c = ha(x, y)
+            columns[col].append(s)
+            if col + 1 < 2 * bits:
+                columns[col + 1].append(c)
+        out = columns[col][0] if columns[col] else None
+        if out is None:
+            out = net.add_const("zero%d" % col, False)
+        net.add_buf("p%d" % col, out)
+        net.add_output("p%d" % col)
+    net.remove_dangling()
+    return net
+
+
+def barrel_shifter(width: int, name: str = "") -> Network:
+    """Logarithmic barrel rotator (the paper's ``bshiftN``).
+
+    ``width`` data inputs, log2(width) select inputs, ``width`` outputs;
+    built from log2(width) MUX stages.
+    """
+    if width & (width - 1):
+        raise ValueError("width must be a power of two")
+    net = Network(name or "bshift%d" % width)
+    data = [net.add_input("d%d" % i) for i in range(width)]
+    stages = width.bit_length() - 1
+    sel = [net.add_input("s%d" % i) for i in range(stages)]
+    cur = data
+    for stage in range(stages):
+        shift = 1 << stage
+        nxt = []
+        for i in range(width):
+            rotated = cur[(i + shift) % width]
+            nxt.append(net.add_mux("st%d_%d" % (stage, i), sel[stage],
+                                   rotated, cur[i]))
+        cur = nxt
+    for i, s in enumerate(cur):
+        net.add_buf("o%d" % i, s)
+        net.add_output("o%d" % i)
+    return net
+
+
+def comparator(bits: int, name: str = "") -> Network:
+    """N-bit magnitude comparator: outputs eq, gt, lt."""
+    net = Network(name or "cmp%d" % bits)
+    a = [net.add_input("a%d" % i) for i in range(bits)]
+    b = [net.add_input("b%d" % i) for i in range(bits)]
+    eq_bits = []
+    for i in range(bits):
+        x = net.add_xor("x%d" % i, [a[i], b[i]])
+        eq_bits.append(net.add_not("e%d" % i, x))
+    # gt: a_i & ~b_i with all higher bits equal.
+    gt_terms = []
+    for i in reversed(range(bits)):
+        nb = net.add_not("nb%d" % i, b[i])
+        term = net.add_and("gtb%d" % i, [a[i], nb])
+        for j in range(i + 1, bits):
+            term = net.add_and("gtb%d_%d" % (i, j), [term, eq_bits[j]])
+        gt_terms.append(term)
+    gt = gt_terms[0]
+    for k, t in enumerate(gt_terms[1:], 1):
+        gt = net.add_or("gto%d" % k, [gt, t])
+    eq = eq_bits[0]
+    for k, e in enumerate(eq_bits[1:], 1):
+        eq = net.add_and("eqa%d" % k, [eq, e])
+    net.add_buf("eq", eq)
+    net.add_buf("gt", gt)
+    ngt = net.add_not("ngt", "gt")
+    neq = net.add_not("neq", "eq")
+    net.add_and("lt", [ngt, neq])
+    for o in ("eq", "gt", "lt"):
+        net.add_output(o)
+    return net
+
+
+def parity_tree(width: int, name: str = "") -> Network:
+    """Balanced XOR tree computing the parity of ``width`` inputs."""
+    net = Network(name or "parity%d" % width)
+    level = [net.add_input("x%d" % i) for i in range(width)]
+    stage = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(net.add_xor("p%d_%d" % (stage, i // 2),
+                                   [level[i], level[i + 1]]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+        stage += 1
+    net.add_buf("parity", level[0])
+    net.add_output("parity")
+    return net
+
+
+def simple_alu(bits: int, name: str = "") -> Network:
+    """A small ALU: op-select chooses among ADD, AND, OR, XOR.
+
+    2N data inputs + 2 op-select inputs; N+1 outputs (result + carry).
+    The mix of an adder (XOR-heavy) and logic ops (AND/OR) makes this the
+    C880/C3540 stand-in class.
+    """
+    net = Network(name or "alu%d" % bits)
+    a = [net.add_input("a%d" % i) for i in range(bits)]
+    b = [net.add_input("b%d" % i) for i in range(bits)]
+    op0 = net.add_input("op0")
+    op1 = net.add_input("op1")
+    carry = None
+    sums = []
+    for i in range(bits):
+        s, carry = _full_adder(net, a[i], b[i], carry, "fa%d" % i)
+        sums.append(s)
+    for i in range(bits):
+        and_ = net.add_and("andg%d" % i, [a[i], b[i]])
+        or_ = net.add_or("org%d" % i, [a[i], b[i]])
+        xor_ = net.add_xor("xorg%d" % i, [a[i], b[i]])
+        lo = net.add_mux("mlo%d" % i, op0, and_, sums[i])
+        hi = net.add_mux("mhi%d" % i, op0, xor_, or_)
+        net.add_mux("r%d" % i, op1, hi, lo)
+        net.add_output("r%d" % i)
+    net.add_output(carry)
+    return net

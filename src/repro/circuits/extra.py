@@ -1,0 +1,136 @@
+"""Additional circuit generators: carry-lookahead adder, decoder, priority
+encoder, Gray-code converter, and the paper's own rnd4-1 example function.
+
+These widen the benchmark pool beyond the Table I/II families and provide
+structurally diverse tests for the flows (wide fanin trees, one-hot logic,
+deep priority chains).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.network import Network
+from repro.sop.cube import lit
+
+
+def carry_lookahead_adder(bits: int = 8, group: int = 4,
+                          name: str = "") -> Network:
+    """Carry-lookahead adder with ``group``-bit lookahead blocks."""
+    net = Network(name or "cla%d" % bits)
+    a = [net.add_input("a%d" % i) for i in range(bits)]
+    b = [net.add_input("b%d" % i) for i in range(bits)]
+    g = [net.add_and("g%d" % i, [a[i], b[i]]) for i in range(bits)]
+    p = [net.add_xor("p%d" % i, [a[i], b[i]]) for i in range(bits)]
+    carry = net.add_const("c0", False)
+    carries = [carry]
+    for i in range(bits):
+        # c_{i+1} = g_i + p_i c_i, grouped flat within each block.
+        block_start = (i // group) * group
+        terms = [g[i]]
+        prod = None
+        for j in range(i, block_start - 1, -1):
+            if j == block_start:
+                tail = carries[block_start]
+            else:
+                tail = g[j - 1]
+            factors = [p[x] for x in range(j, i + 1)] + [tail]
+            t = factors[0]
+            for k, fct in enumerate(factors[1:], 1):
+                t = net.add_and("c%d_t%d_%d" % (i + 1, j, k), [t, fct])
+            terms.append(t)
+        cur = terms[0]
+        for k, t in enumerate(terms[1:], 1):
+            cur = net.add_or("c%d_o%d" % (i + 1, k), [cur, t])
+        carries.append(cur)
+    for i in range(bits):
+        net.add_xor("s%d" % i, [p[i], carries[i]])
+        net.add_output("s%d" % i)
+    net.add_buf("cout", carries[bits])
+    net.add_output("cout")
+    net.remove_dangling()
+    return net
+
+
+def decoder(select_bits: int = 4, name: str = "") -> Network:
+    """N-to-2^N one-hot decoder with enable."""
+    net = Network(name or "dec%d" % select_bits)
+    sel = [net.add_input("s%d" % i) for i in range(select_bits)]
+    en = net.add_input("en")
+    neg = [net.add_not("ns%d" % i, sel[i]) for i in range(select_bits)]
+    for value in range(1 << select_bits):
+        factors = [sel[i] if value >> i & 1 else neg[i]
+                   for i in range(select_bits)] + [en]
+        cur = factors[0]
+        for k, f in enumerate(factors[1:], 1):
+            cur = net.add_and("d%d_%d" % (value, k), [cur, f])
+        net.add_buf("o%d" % value, cur)
+        net.add_output("o%d" % value)
+    return net
+
+
+def priority_encoder(width: int = 8, name: str = "") -> Network:
+    """Highest-set-bit encoder with a valid flag."""
+    net = Network(name or "prio%d" % width)
+    req = [net.add_input("r%d" % i) for i in range(width)]
+    # grant_i = r_i & ~r_{i+1} & ... & ~r_{width-1} (highest index wins).
+    nreq = [net.add_not("nr%d" % i, req[i]) for i in range(width)]
+    grants: List[str] = []
+    for i in range(width):
+        cur = req[i]
+        for j in range(i + 1, width):
+            cur = net.add_and("gr%d_%d" % (i, j), [cur, nreq[j]])
+        grants.append(cur)
+    bits = max(1, (width - 1).bit_length())
+    for bit in range(bits):
+        members = [grants[i] for i in range(width) if i >> bit & 1]
+        cur = members[0]
+        for k, m in enumerate(members[1:], 1):
+            cur = net.add_or("e%d_%d" % (bit, k), [cur, m])
+        net.add_buf("idx%d" % bit, cur)
+        net.add_output("idx%d" % bit)
+    cur = req[0]
+    for k, r in enumerate(req[1:], 1):
+        cur = net.add_or("any%d" % k, [cur, r])
+    net.add_buf("valid", cur)
+    net.add_output("valid")
+    return net
+
+
+def gray_converter(bits: int = 6, name: str = "") -> Network:
+    """Binary-to-Gray and Gray-to-binary, sharing inputs (XOR chains)."""
+    net = Network(name or "gray%d" % bits)
+    x = [net.add_input("x%d" % i) for i in range(bits)]
+    # binary -> gray: g_i = b_i xor b_{i+1}.
+    for i in range(bits - 1):
+        net.add_xor("gray%d" % i, [x[i], x[i + 1]])
+        net.add_output("gray%d" % i)
+    net.add_buf("gray%d" % (bits - 1), x[bits - 1])
+    net.add_output("gray%d" % (bits - 1))
+    # gray -> binary (treating x as gray code): b_i = xor of x_i..x_{n-1}.
+    prev = x[bits - 1]
+    net.add_buf("bin%d" % (bits - 1), prev)
+    net.add_output("bin%d" % (bits - 1))
+    for i in range(bits - 2, -1, -1):
+        prev = net.add_xor("bin%d" % i, [x[i], prev])
+        net.add_output("bin%d" % i)
+    return net
+
+
+def rnd4_1(name: str = "rnd4_1") -> Network:
+    """The paper's Example 6 function (circuit rnd4-1 from MCNC):
+    F = (x1 xnor ~x4) xnor (x2 (x5 + x1 x4))."""
+    net = Network(name)
+    for n in ("x1", "x2", "x4", "x5"):
+        net.add_input(n)
+    net.add_output("F")
+    net.add_node("gq", ["x1", "x4"],
+                 [frozenset({lit(0), lit(1, False)}),
+                  frozenset({lit(0, False), lit(1)})])  # x1 xnor ~x4
+    net.add_and("x14", ["x1", "x4"])
+    net.add_or("inner", ["x5", "x14"])
+    net.add_and("h", ["x2", "inner"])
+    net.add_node("F", ["gq", "h"],
+                 [frozenset({lit(0), lit(1)}),
+                  frozenset({lit(0, False), lit(1, False)})])  # xnor
+    return net

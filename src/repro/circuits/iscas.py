@@ -1,0 +1,257 @@
+"""Functional equivalents of the ISCAS-85 circuits used in Table I.
+
+The real ISCAS-85 netlists are not redistributable here; these builders
+produce circuits of the same *functional class* and comparable structure
+(see DESIGN.md "Substitutions"):
+
+=========  ==========================================  ==================
+paper      function                                    builder class
+=========  ==========================================  ==================
+C432       27-channel interrupt controller             priority + parity
+C499/C1355 32-bit SEC error-correcting circuit         XOR trees + decode
+C880       8-bit ALU                                   adder + logic ops
+C1908      16-bit SEC/DED ECC                          XOR trees + decode
+C3540      8-bit ALU with extras                       wider ALU
+C5315      9-bit ALU with selector/comparator          composite
+C6288      16x16 multiplier                            array multiplier
+C7552      32-bit adder/comparator                     composite
+=========  ==========================================  ==================
+
+Sizes are parameterized; defaults are scaled to what the pure-Python flows
+synthesize in benchmark-friendly time.  ``iscas_equivalent(name)`` returns
+the default-size equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.arith import (
+    array_multiplier,
+    comparator,
+    ripple_adder,
+    simple_alu,
+)
+from repro.network.network import Network
+
+
+def embed_network(net: Network, sub: Network, prefix: str,
+                  input_map: Dict[str, str]) -> Dict[str, str]:
+    """Copy ``sub`` into ``net``, renaming nodes with ``prefix`` and wiring
+    its inputs per ``input_map``.  Returns sub-output -> new-signal map."""
+    rename: Dict[str, str] = {}
+    for i in sub.inputs:
+        rename[i] = input_map[i]
+    for node in sub.topological():
+        new_name = prefix + node.name
+        rename[node.name] = new_name
+        net.add_node(new_name, [rename[f] for f in node.fanins],
+                     list(node.cover))
+    return {o: rename[o] for o in sub.outputs}
+
+
+# ----------------------------------------------------------------------
+# Error-correcting circuits (C499 / C1355 / C1908 class)
+# ----------------------------------------------------------------------
+
+
+def _hamming_patterns(data_bits: int, check_bits: int) -> List[int]:
+    """Assign each data bit a distinct non-power-of-two syndrome pattern."""
+    patterns = []
+    candidate = 3
+    while len(patterns) < data_bits:
+        if candidate & (candidate - 1):  # not a power of two
+            patterns.append(candidate)
+        candidate += 1
+        if candidate >= (1 << check_bits):
+            raise ValueError("not enough check bits for the data width")
+    return patterns
+
+
+def ecc_corrector(data_bits: int = 32, check_bits: int = 8,
+                  name: str = "") -> Network:
+    """Single-error-correcting decoder (the C499/C1355 class).
+
+    Inputs: data d0..dN-1 and received check bits c0..cK-1.  Outputs: the
+    corrected data word.  Structure: K syndrome XOR trees over data
+    subsets, then per-bit syndrome decode (wide AND) XORed into the data.
+    """
+    net = Network(name or "ecc%d" % data_bits)
+    data = [net.add_input("d%d" % i) for i in range(data_bits)]
+    check = [net.add_input("c%d" % j) for j in range(check_bits)]
+    patterns = _hamming_patterns(data_bits, check_bits)
+    # Syndrome bits: parity of participating data bits xor the check bit.
+    syndromes = []
+    for j in range(check_bits):
+        members = [data[i] for i in range(data_bits) if patterns[i] >> j & 1]
+        cur = check[j]
+        for k, m in enumerate(members):
+            cur = net.add_xor("syn%d_%d" % (j, k), [cur, m])
+        syndromes.append(net.add_buf("s%d" % j, cur))
+    syn_neg = [net.add_not("ns%d" % j, syndromes[j]) for j in range(check_bits)]
+    # Per-bit correction: flip d_i when the syndrome equals its pattern.
+    for i in range(data_bits):
+        lits = [syndromes[j] if patterns[i] >> j & 1 else syn_neg[j]
+                for j in range(check_bits)]
+        cur = lits[0]
+        for k, l in enumerate(lits[1:], 1):
+            cur = net.add_and("dec%d_%d" % (i, k), [cur, l])
+        net.add_xor("o%d" % i, [data[i], cur])
+        net.add_output("o%d" % i)
+    return net
+
+
+def ecc_secded(data_bits: int = 16, check_bits: int = 6,
+               name: str = "") -> Network:
+    """SEC/DED variant (C1908 class): corrected data + error flags."""
+    net = ecc_corrector(data_bits, check_bits - 1, name or "secded%d" % data_bits)
+    # Overall parity input and double-error detect output.
+    p = net.add_input("p_in")
+    total = p
+    for i in range(data_bits):
+        total = net.add_xor("tp%d" % i, [total, "d%d" % i])
+    net.add_buf("parity_err", total)
+    net.add_output("parity_err")
+    syn_any = "s0"
+    for j in range(1, check_bits - 1):
+        syn_any = net.add_or("sa%d" % j, [syn_any, "s%d" % j])
+    npar = net.add_not("npar", "parity_err")
+    net.add_and("double_err", [syn_any, npar])
+    net.add_output("double_err")
+    return net
+
+
+# ----------------------------------------------------------------------
+# Priority interrupt controller (C432 class)
+# ----------------------------------------------------------------------
+
+
+def interrupt_controller(channels: int = 9, name: str = "c432eq") -> Network:
+    """Three request buses A/B/C with enables; A has priority over B over C.
+
+    Outputs: bus grant flags PA/PB/PC and an OR-encoded channel index.
+    36 inputs at the default size, like C432.
+    """
+    net = Network(name)
+    a = [net.add_input("a%d" % i) for i in range(channels)]
+    b = [net.add_input("b%d" % i) for i in range(channels)]
+    c = [net.add_input("ch%d" % i) for i in range(channels)]
+    e = [net.add_input("e%d" % i) for i in range(channels)]
+    areq = [net.add_and("areq%d" % i, [a[i], e[i]]) for i in range(channels)]
+    breq = [net.add_and("breq%d" % i, [b[i], e[i]]) for i in range(channels)]
+    creq = [net.add_and("creq%d" % i, [c[i], e[i]]) for i in range(channels)]
+
+    def any_of(sigs, prefix):
+        cur = sigs[0]
+        for k, s in enumerate(sigs[1:], 1):
+            cur = net.add_or("%s%d" % (prefix, k), [cur, s])
+        return cur
+
+    pa = net.add_buf("PA", any_of(areq, "anya"))
+    npa = net.add_not("nPA", pa)
+    pb_raw = any_of(breq, "anyb")
+    pb = net.add_and("PB", [pb_raw, npa])
+    npb = net.add_not("nPB", pb)
+    pc_raw = any_of(creq, "anyc")
+    pc0 = net.add_and("pc0", [pc_raw, npa])
+    pc = net.add_and("PC", [pc0, npb])
+    for o in ("PA", "PB", "PC"):
+        net.add_output(o)
+    # Winning bus per channel, then priority-encode the channel index.
+    win = []
+    for i in range(channels):
+        wa = net.add_and("wa%d" % i, [areq[i], pa])
+        wb = net.add_and("wb%d" % i, [breq[i], pb])
+        wc = net.add_and("wc%d" % i, [creq[i], pc])
+        w1 = net.add_or("w1_%d" % i, [wa, wb])
+        win.append(net.add_or("win%d" % i, [w1, wc]))
+    # Priority among channels: lowest index wins.
+    granted = []
+    blockers: List[str] = []
+    for i in range(channels):
+        g = win[i]
+        for j, blk in enumerate(blockers):
+            g = net.add_and("gr%d_%d" % (i, j), [g, blk])
+        granted.append(g)
+        blockers.append(net.add_not("nw%d" % i, win[i]))
+        # Keep the blocker chain short: only the previous 3 channels gate.
+        blockers = blockers[-3:]
+    index_bits = max(1, (channels - 1).bit_length())
+    for bit in range(index_bits):
+        members = [granted[i] for i in range(channels) if i >> bit & 1]
+        if not members:
+            net.add_const("idx%d" % bit, False)
+        else:
+            cur = members[0]
+            for k, m in enumerate(members[1:], 1):
+                cur = net.add_or("ix%d_%d" % (bit, k), [cur, m])
+            net.add_buf("idx%d" % bit, cur)
+        net.add_output("idx%d" % bit)
+    return net
+
+
+# ----------------------------------------------------------------------
+# Composites (C5315 / C7552 class)
+# ----------------------------------------------------------------------
+
+
+def alu_selector(bits: int = 9, name: str = "c5315eq") -> Network:
+    """ALU plus comparator plus result parity (C5315 class)."""
+    net = simple_alu(bits, name)
+    cmp_net = comparator(bits)
+    input_map = {}
+    for i in range(bits):
+        input_map["a%d" % i] = "a%d" % i
+        input_map["b%d" % i] = "b%d" % i
+    outs = embed_network(net, cmp_net, "cmp_", input_map)
+    for o in outs.values():
+        net.add_output(o)
+    # Parity over the ALU result.
+    cur = "r0"
+    for i in range(1, bits):
+        cur = net.add_xor("rp%d" % i, [cur, "r%d" % i])
+    net.add_buf("rparity", cur)
+    net.add_output("rparity")
+    return net
+
+
+def adder_comparator(bits: int = 16, name: str = "c7552eq") -> Network:
+    """Wide adder + magnitude comparator + parity (C7552 class)."""
+    net = ripple_adder(bits, name)
+    cmp_net = comparator(bits)
+    input_map = {}
+    for i in range(bits):
+        input_map["a%d" % i] = "a%d" % i
+        input_map["b%d" % i] = "b%d" % i
+    outs = embed_network(net, cmp_net, "cmp_", input_map)
+    for o in outs.values():
+        net.add_output(o)
+    cur = "fa0_s"
+    for i in range(1, bits):
+        cur = net.add_xor("sp%d" % i, [cur, "fa%d_s" % i])
+    net.add_buf("sparity", cur)
+    net.add_output("sparity")
+    return net
+
+
+# ----------------------------------------------------------------------
+# Default-size equivalents
+# ----------------------------------------------------------------------
+
+
+def iscas_equivalent(name: str) -> Network:
+    """Build the default-size functional equivalent of an ISCAS-85 name."""
+    builders = {
+        "C432": lambda: interrupt_controller(9, "C432eq"),
+        "C499": lambda: ecc_corrector(32, 8, "C499eq"),
+        "C880": lambda: simple_alu(8, "C880eq"),
+        "C1355": lambda: ecc_corrector(32, 8, "C1355eq"),
+        "C1908": lambda: ecc_secded(16, 6, "C1908eq"),
+        "C3540": lambda: simple_alu(12, "C3540eq"),
+        "C5315": lambda: alu_selector(9, "C5315eq"),
+        "C6288": lambda: array_multiplier(8, "C6288eq"),
+        "C7552": lambda: adder_comparator(16, "C7552eq"),
+    }
+    if name not in builders:
+        raise KeyError("no ISCAS equivalent for %r" % name)
+    return builders[name]()

@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro.cli``.
+
+Mirrors how BDS itself was used as a tool::
+
+    python -m repro.cli optimize input.blif -o output.blif [--flow bds|sis]
+        [--verify] [--map | --lut K] [--balance] [--stats]
+    python -m repro.cli generate bshift32 -o bshift32.blif
+    python -m repro.cli verify a.blif b.blif
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bds import BDSOptions, bds_optimize
+from repro.circuits import build_circuit
+from repro.mapping import map_network
+from repro.mapping.lut import map_luts
+from repro.network import parse_blif, write_blif
+from repro.sis import script_rugged
+from repro.verify import check_equivalence
+
+
+def _cmd_optimize(args) -> int:
+    with open(args.input) as fh:
+        net = parse_blif(fh.read())
+    t0 = time.perf_counter()
+    if args.flow == "bds":
+        options = BDSOptions(balance_trees=args.balance)
+        result = bds_optimize(net, options)
+        optimized = result.network
+        if args.stats:
+            print("decompositions:", result.decomp_stats.as_dict(),
+                  file=sys.stderr)
+    else:
+        optimized = script_rugged(net).network
+    cpu = time.perf_counter() - t0
+    if args.stats:
+        print("in: %s" % net.stats(), file=sys.stderr)
+        print("out: %s  (%.2fs)" % (optimized.stats(), cpu), file=sys.stderr)
+    if args.verify:
+        check = check_equivalence(net, optimized)
+        if not check.equivalent:
+            print("VERIFICATION FAILED at output %s, e.g. %r"
+                  % (check.failing_output, check.counterexample),
+                  file=sys.stderr)
+            return 1
+        print("verified: %d outputs proven, %d unknown"
+              % (len(check.checked_outputs), len(check.unknown_outputs)),
+              file=sys.stderr)
+    emit = optimized
+    if args.map:
+        mapped = map_network(optimized)
+        print("mapped: %s" % mapped.summary(), file=sys.stderr)
+        emit = mapped.network
+    elif args.lut:
+        mapped = map_luts(optimized, k=args.lut)
+        print("mapped: %s" % mapped.summary(), file=sys.stderr)
+        emit = mapped.network
+    text = write_blif(emit)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    net = build_circuit(args.circuit)
+    text = write_blif(net)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    with open(args.a) as fh:
+        net_a = parse_blif(fh.read())
+    with open(args.b) as fh:
+        net_b = parse_blif(fh.read())
+    check = check_equivalence(net_a, net_b)
+    if check.equivalent:
+        print("equivalent (%d outputs)" % len(check.checked_outputs))
+        return 0
+    if check.counterexample is not None:
+        print("NOT equivalent: output %s differs under %r"
+              % (check.failing_output, check.counterexample))
+    else:
+        print("inconclusive: %d outputs exceeded the BDD cap"
+              % len(check.unknown_outputs))
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="BDS reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_opt = sub.add_parser("optimize", help="optimize a BLIF netlist")
+    p_opt.add_argument("input")
+    p_opt.add_argument("-o", "--output")
+    p_opt.add_argument("--flow", choices=["bds", "sis"], default="bds")
+    p_opt.add_argument("--verify", action="store_true")
+    p_opt.add_argument("--map", action="store_true",
+                       help="map onto the mcnc-style cell library")
+    p_opt.add_argument("--lut", type=int, metavar="K",
+                       help="map onto K-input LUTs")
+    p_opt.add_argument("--balance", action="store_true",
+                       help="balance factoring trees (delay)")
+    p_opt.add_argument("--stats", action="store_true")
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_gen = sub.add_parser("generate", help="emit a benchmark circuit")
+    p_gen.add_argument("circuit", help="e.g. C1355, bshift32, m8x8, add16")
+    p_gen.add_argument("-o", "--output")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_ver = sub.add_parser("verify", help="equivalence-check two BLIFs")
+    p_ver.add_argument("a")
+    p_ver.add_argument("b")
+    p_ver.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

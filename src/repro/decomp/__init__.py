@@ -1,0 +1,31 @@
+"""The paper's core contribution: structural BDD decomposition.
+
+Modules
+-------
+``ftree``        factoring trees -- the record of a decomposition (Sec. IV-C)
+``cuts``         horizontal-cut enumeration, target analysis, validity and
+                 0-/1-equivalence classes (Sec. III-C, Theorem 4)
+``dominators``   simple 1-/0-/x-dominators and functional-MUX pair detection
+                 through cut-target analysis (Sec. II-C, III-D, III-E)
+``generalized``  generalized dominators: Boolean AND/OR decomposition
+                 (Definition 7, Lemmas 1-2)
+``xordec``       algebraic and Boolean XNOR decomposition (Theorems 5-6,
+                 generalized x-dominators)
+``engine``       the recursive decomposition driver with the paper's
+                 priority order (Sec. IV-C)
+``sharing``      sharing extraction across factoring trees (Fig. 13-14)
+"""
+
+from repro.decomp.ftree import FTree, CONST0, CONST1
+from repro.decomp.engine import decompose, DecompOptions
+from repro.decomp.sharing import extract_sharing, trees_to_network
+
+__all__ = [
+    "FTree",
+    "CONST0",
+    "CONST1",
+    "decompose",
+    "DecompOptions",
+    "extract_sharing",
+    "trees_to_network",
+]

@@ -1,0 +1,106 @@
+"""Simple dominators and functional-MUX pairs via cut-target analysis.
+
+Karplus's 1-/0-dominators (Section II-C), the x-dominator of Theorem 5 and
+the functional-MUX node pair of Theorem 7 are all special shapes of a
+horizontal cut's crossing-target set:
+
+===========================  =======================================
+targets of the cut           decomposition
+===========================  =======================================
+``{u, ZERO}``                ``F = G & f_u``   (1-dominator, AND)
+``{u, ONE}``                 ``F = G + f_u``   (0-dominator, OR)
+``{u, ~u}``                  ``F = h xnor f_u``  (x-dominator)
+``{u, v}``  (u, v distinct)  ``F = ITE(h, f_u, f_v)``  (functional MUX)
+===========================  =======================================
+
+In each case the upper function (G or h) is the portion of the BDD above
+the cut with the target vertices redirected to constants; f_u, f_v are the
+functions rooted at the targets.  The detection is exact: a vertex is a
+1-dominator iff some cut has target set {u, ZERO}, etc.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.bdd.manager import BDD, ONE, ZERO
+from repro.decomp.cuts import Cut, enumerate_cuts, rebuild_above_cut
+
+
+class SimpleDecomposition(NamedTuple):
+    """A dominator-style decomposition found on a cut.
+
+    ``kind`` is one of ``and``/``or``/``xnor``/``mux``; ``upper`` is the
+    rebuilt above-cut function (G or h); ``parts`` holds the below-cut
+    functions: one ref for and/or/xnor, two (then, else) for mux.
+    """
+
+    kind: str
+    upper: int
+    parts: Tuple[int, ...]
+    cut_level: int
+
+
+def find_simple_decompositions(mgr: BDD, root: int,
+                               cuts: Optional[List[Cut]] = None
+                               ) -> List[SimpleDecomposition]:
+    """All dominator/MUX decompositions exposed by horizontal cuts."""
+    if cuts is None:
+        cuts = enumerate_cuts(mgr, root)
+    out: List[SimpleDecomposition] = []
+    seen = set()
+    for cut in cuts:
+        targets = cut.targets
+        nonterm = sorted(cut.nonterminal_targets())
+        has_one = ONE in targets
+        has_zero = ZERO in targets
+        if len(nonterm) == 1 and has_zero and not has_one:
+            u = nonterm[0]
+            key = ("and", u)
+            if key in seen:
+                continue
+            seen.add(key)
+            upper = rebuild_above_cut(mgr, root, cut.level, {u: ONE})
+            out.append(SimpleDecomposition("and", upper, (u,), cut.level))
+        elif len(nonterm) == 1 and has_one and not has_zero:
+            u = nonterm[0]
+            key = ("or", u)
+            if key in seen:
+                continue
+            seen.add(key)
+            upper = rebuild_above_cut(mgr, root, cut.level, {u: ZERO})
+            out.append(SimpleDecomposition("or", upper, (u,), cut.level))
+        elif len(nonterm) == 2 and not has_one and not has_zero:
+            u, v = nonterm
+            if u == (v ^ 1):
+                # x-dominator: choose the regular-phase representative.
+                pos = u if not (u & 1) else v
+                key = ("xnor", pos)
+                if key in seen:
+                    continue
+                seen.add(key)
+                upper = rebuild_above_cut(mgr, root, cut.level,
+                                          {pos: ONE, pos ^ 1: ZERO})
+                out.append(SimpleDecomposition("xnor", upper, (pos,), cut.level))
+            else:
+                key = ("mux", u, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                upper = rebuild_above_cut(mgr, root, cut.level,
+                                          {u: ONE, v: ZERO})
+                out.append(SimpleDecomposition("mux", upper, (u, v), cut.level))
+    return out
+
+
+def verify_simple(mgr: BDD, root: int, d: SimpleDecomposition) -> bool:
+    """Check the decomposition identity with BDD operations."""
+    if d.kind == "and":
+        return mgr.and_(d.upper, d.parts[0]) == root
+    if d.kind == "or":
+        return mgr.or_(d.upper, d.parts[0]) == root
+    if d.kind == "xnor":
+        return mgr.xnor_(d.upper, d.parts[0]) == root
+    if d.kind == "mux":
+        return mgr.ite(d.upper, d.parts[0], d.parts[1]) == root
+    raise ValueError(d.kind)

@@ -1,0 +1,133 @@
+"""Classical functional decomposition on BDDs (Section II-B, Fig. 1).
+
+The paper's background reviews the cut-based Ashenhurst-Curtis/Roth-Karp
+method of Lai et al. [10]: choose a cut separating *bound* variables
+(above) from *free* variables (below); each distinct BDD node in the cut
+is one column of the decomposition chart; if the column multiplicity is
+``m``, the bound-set logic can be re-encoded into ``ceil(log2 m)``
+functions G_j, and F becomes H(G_1..G_k, free vars) — Fig. 1(b)'s node
+encoding.  BDS itself supersedes this with structural decompositions, but
+the classical method is part of the system's lineage (and of its FPGA
+descendants), so it is provided as a first-class operation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bdd.manager import BDD, ONE, TERMINAL, ZERO
+from repro.bdd.traverse import phased_vertices, support
+from repro.decomp.cuts import rebuild_above_cut
+
+
+@dataclass
+class FunctionalDecomposition:
+    """F(X) == H(G_1(bound), .., G_k(bound), free vars).
+
+    ``code_vars`` are the fresh manager variables standing for the G
+    outputs inside ``h``; ``columns`` is the column multiplicity.
+    """
+
+    bound_level: int
+    columns: int
+    g_functions: List[int]
+    code_vars: List[int]
+    h: int
+
+    @property
+    def k(self) -> int:
+        return len(self.g_functions)
+
+
+def column_multiplicity(mgr: BDD, f: int, level: int) -> int:
+    """Number of distinct cut nodes (columns) at a horizontal cut."""
+    return len(_cut_columns(mgr, f, level))
+
+
+def _cut_columns(mgr: BDD, f: int, level: int) -> List[int]:
+    """Crossing targets of the cut at ``level`` (phased refs, incl.
+    terminals), i.e. the distinct columns of the decomposition chart."""
+    columns = set()
+    for v in phased_vertices(mgr, f):
+        if mgr.is_const(v) or mgr.level(v) >= level:
+            continue
+        for child in mgr.children(v):
+            if mgr.level(child) >= level or mgr.is_const(child):
+                columns.add(child)
+    if mgr.level(f) >= level:
+        columns.add(f)
+    return sorted(columns)
+
+
+def functional_decompose(mgr: BDD, f: int, level: int,
+                         name_prefix: str = "code"
+                         ) -> Optional[FunctionalDecomposition]:
+    """Ashenhurst-Curtis decomposition of ``f`` at cut ``level``.
+
+    Returns None for trivial cases (constant f, or a cut above the root).
+    New code variables are created in ``mgr`` (at the bottom of the
+    order); the identity  ``compose(h, code_j <- g_j) == f``  always holds
+    and is asserted.
+    """
+    if mgr.is_const(f) or mgr.level(f) >= level:
+        return None
+    columns = _cut_columns(mgr, f, level)
+    m = len(columns)
+    k = max(1, math.ceil(math.log2(m))) if m > 1 else 1
+    code_vars = [mgr.new_var("%s%d" % (name_prefix, _fresh_index(mgr)))
+                 for _ in range(k)]
+    codes: Dict[int, int] = {col: i for i, col in enumerate(columns)}
+    # G_j: above-cut function with column -> bit j of its code.
+    g_functions = []
+    for j in range(k):
+        subst = {col: (ONE if (code >> j) & 1 else ZERO)
+                 for col, code in codes.items()}
+        g_functions.append(rebuild_above_cut(mgr, f, level, subst))
+    # H: sum over columns of (code-minterm AND column function).
+    h = ZERO
+    for col, code in codes.items():
+        cube = ONE
+        for j in range(k):
+            cube = mgr.and_(cube, mgr.literal(code_vars[j], bool((code >> j) & 1)))
+        h = mgr.or_(h, mgr.and_(cube, col))
+    # Verify the re-composition (cheap: canonical compare).
+    recomposed = mgr.vector_compose(h, dict(zip(code_vars, g_functions)))
+    assert recomposed == f, "functional decomposition identity failed"
+    return FunctionalDecomposition(level, m, g_functions, code_vars, h)
+
+
+def _fresh_index(mgr: BDD) -> int:
+    return mgr.num_vars
+
+
+def best_bound_level(mgr: BDD, f: int, max_code_bits: int = 2
+                     ) -> Optional[Tuple[int, int]]:
+    """Find the cut level minimizing column multiplicity (then deepest),
+    subject to needing at most ``max_code_bits`` encoding bits and being a
+    *nontrivial* decomposition (at least two bound and one free level).
+
+    Returns ``(level, multiplicity)`` or None.
+    """
+    if mgr.is_const(f):
+        return None
+    levels = sorted({mgr.level(v) for v in phased_vertices(mgr, f)
+                     if not mgr.is_const(v)})
+    if len(levels) < 3:
+        return None
+    best: Optional[Tuple[int, int]] = None
+    for level in levels[2:]:
+        m = column_multiplicity(mgr, f, level)
+        if m > (1 << max_code_bits):
+            continue
+        if best is None or m < best[1]:
+            best = (level, m)
+    return best
+
+
+def is_simple_disjoint_decomposable(mgr: BDD, f: int, level: int) -> bool:
+    """Ashenhurst's original criterion: a simple disjoint decomposition
+    with a single predecessor block exists iff the column multiplicity of
+    the (disjoint) chart is at most 2."""
+    return column_multiplicity(mgr, f, level) <= 2

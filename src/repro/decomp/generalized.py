@@ -1,0 +1,82 @@
+"""Generalized dominators: Boolean AND/OR decomposition (Sec. III-B).
+
+For a valid cut, the *generalized dominator* GD(F) is the above-cut graph
+with its internal crossing edges dangling (Definition 7).  Lemma 1: the
+Boolean divisor D is GD(F) with free edges redirected to 1; the quotient is
+any function in the interval ``[F, F + ~D]`` (Theorem 2), obtained by
+minimizing F with the offset of D as don't-care -- we use the Coudert-Madre
+RESTRICT heuristic, as the paper does.  Lemma 2 is the dual disjunctive
+construction (free edges to 0; the disjunctive term from ``[F & ~G?, ...]``
+via the complement identity ``F = G + H  <=>  ~F = ~G & ~H``).
+
+Cuts that are 0-equivalent (1-equivalent) produce identical divisors
+(Theorem 4); candidates are deduplicated on the canonical divisor ref,
+which is exactly that equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from repro.bdd.manager import BDD, ONE, ZERO
+from repro.bdd.restrict import minimize_with_dc
+from repro.decomp.cuts import Cut, enumerate_cuts, rebuild_above_cut
+
+
+class BooleanDecomposition(NamedTuple):
+    """``F = divisor OP quotient`` with OP in {and, or}."""
+
+    kind: str
+    divisor: int
+    quotient: int
+    cut_level: int
+
+
+def conjunctive_candidates(mgr: BDD, root: int,
+                           cuts: Optional[List[Cut]] = None
+                           ) -> List[BooleanDecomposition]:
+    """Boolean AND decompositions F = D & Q from generalized dominators."""
+    if cuts is None:
+        cuts = enumerate_cuts(mgr, root)
+    out: List[BooleanDecomposition] = []
+    seen_divisors = set()
+    for cut in cuts:
+        if ZERO not in cut.targets:
+            # Without a leaf edge to 0 every sink of D becomes 1: trivial.
+            continue
+        divisor = rebuild_above_cut(mgr, root, cut.level, {}, free_value=ONE)
+        if divisor in (ONE, root) or divisor in seen_divisors:
+            continue
+        seen_divisors.add(divisor)
+        if not mgr.leq(root, divisor):  # pragma: no cover - by construction
+            continue
+        quotient = minimize_with_dc(mgr, root, divisor ^ 1)
+        if mgr.and_(divisor, quotient) != root:  # pragma: no cover - safety
+            continue
+        out.append(BooleanDecomposition("and", divisor, quotient, cut.level))
+    return out
+
+
+def disjunctive_candidates(mgr: BDD, root: int,
+                           cuts: Optional[List[Cut]] = None
+                           ) -> List[BooleanDecomposition]:
+    """Boolean OR decompositions F = G + H (Lemma 2)."""
+    if cuts is None:
+        cuts = enumerate_cuts(mgr, root)
+    out: List[BooleanDecomposition] = []
+    seen = set()
+    for cut in cuts:
+        if ONE not in cut.targets:
+            continue
+        g = rebuild_above_cut(mgr, root, cut.level, {}, free_value=ZERO)
+        if g in (ZERO, root) or g in seen:
+            continue
+        seen.add(g)
+        if not mgr.leq(g, root):  # pragma: no cover - by construction
+            continue
+        # H satisfies ~F <= ~H <= ~F + G: minimize ~F with G as don't-care.
+        h = minimize_with_dc(mgr, root ^ 1, g) ^ 1
+        if mgr.or_(g, h) != root:  # pragma: no cover - safety
+            continue
+        out.append(BooleanDecomposition("or", g, h, cut.level))
+    return out

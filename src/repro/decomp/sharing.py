@@ -1,0 +1,188 @@
+"""Sharing extraction across factoring trees (Fig. 13-14, Section IV-C).
+
+"BDDs are constructed for all factoring trees in a bottom-up fashion, and
+the canonicity property of a BDD is used to identify functionally
+equivalent subtrees."  :func:`extract_sharing` rebuilds a collection of
+trees so that subtrees with identical global functions become one shared
+object (complements shared through an inverter), and
+:func:`trees_to_network` lowers the shared forest to a gate-level
+:class:`~repro.network.network.Network` of 2-input AND/OR/XOR/XNOR, NOT
+and MUX nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd import BDD
+from repro.decomp.ftree import CONST0, CONST1, FTree, negate
+from repro.network.network import Network
+from repro.sop.cube import lit
+
+
+def extract_sharing(trees: Dict[str, FTree],
+                    size_cap: int = 100000) -> Dict[str, FTree]:
+    """Merge functionally equivalent subtrees across all trees.
+
+    Tree leaves must be hashable signal identifiers; equivalence is global
+    (canonical BDD over all leaf signals).  ``size_cap`` bounds the shared
+    manager; if exceeded the original trees are returned unchanged.
+    """
+    mgr = BDD()
+    leaf_var: Dict[object, int] = {}
+    canonical: Dict[int, FTree] = {}
+    rewritten_total: Dict[str, FTree] = {}
+
+    for name, tree in trees.items():
+        ref_of: Dict[int, int] = {}
+        new_of: Dict[int, FTree] = {}
+        for t in tree.iter_nodes():
+            children = [new_of[id(c)] for c in t.children]
+            child_refs = [ref_of[id(c)] for c in t.children]
+            if t.op == "const0":
+                ref, new = 1, CONST0
+            elif t.op == "const1":
+                ref, new = 0, CONST1
+            elif t.op == "var":
+                if t.var not in leaf_var:
+                    leaf_var[t.var] = mgr.new_var(str(t.var))
+                ref = mgr.var_ref(leaf_var[t.var])
+                new = FTree("var", var=t.var)
+            elif t.op == "not":
+                ref = child_refs[0] ^ 1
+                new = negate(children[0])
+            elif t.op == "mux":
+                ref = mgr.ite(child_refs[0], child_refs[1], child_refs[2])
+                new = FTree("mux", children=tuple(children))
+            else:
+                ref = getattr(mgr, t.op + "_")(child_refs[0], child_refs[1])
+                new = FTree(t.op, children=tuple(children))
+            if ref in canonical:
+                new = canonical[ref]
+            elif (ref ^ 1) in canonical:
+                new = negate(canonical[ref ^ 1])
+                canonical[ref] = new
+            else:
+                canonical[ref] = new
+            ref_of[id(t)] = ref
+            new_of[id(t)] = new
+            if mgr.num_nodes_allocated > size_cap:
+                return dict(trees)
+        rewritten_total[name] = new_of[id(tree)]
+    return rewritten_total
+
+
+def count_shared_gates(trees: Dict[str, FTree]) -> int:
+    """Operator nodes in the forest, shared objects counted once."""
+    seen: Set[int] = set()
+    count = 0
+    for tree in trees.values():
+        for t in tree.iter_nodes():
+            if id(t) in seen:
+                continue
+            seen.add(id(t))
+            if t.op not in ("var", "const0", "const1"):
+                count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Lowering to a gate network
+# ----------------------------------------------------------------------
+
+_GATE_COVERS = {
+    "and": [frozenset({lit(0), lit(1)})],
+    "or": [frozenset({lit(0)}), frozenset({lit(1)})],
+    "xor": [frozenset({lit(0), lit(1, False)}),
+            frozenset({lit(0, False), lit(1)})],
+    "xnor": [frozenset({lit(0), lit(1)}),
+             frozenset({lit(0, False), lit(1, False)})],
+    "not": [frozenset({lit(0, False)})],
+    "mux": [frozenset({lit(0), lit(1)}),
+            frozenset({lit(0, False), lit(2)})],
+}
+
+
+def trees_to_network(trees: Dict[str, FTree], inputs: Sequence[str],
+                     outputs: Sequence[str], name: str = "bds") -> Network:
+    """Lower a (shared) forest of factoring trees to a gate-level network.
+
+    ``trees`` maps node/output names to their factoring trees; tree leaves
+    are signal names -- primary inputs or other tree names.
+    """
+    net = Network(name)
+    for i in inputs:
+        net.add_input(i)
+    for o in outputs:
+        net.add_output(o)
+
+    # Order trees so that a tree whose leaves mention another tree's name
+    # is emitted after it.
+    order = _order_trees(trees, set(inputs))
+
+    signal_of: Dict[int, str] = {}   # id(shared subtree) -> emitted signal
+    counter = [0]
+
+    def fresh(prefix: str) -> str:
+        while True:
+            candidate = "%s_%d" % (prefix, counter[0])
+            counter[0] += 1
+            if candidate not in net.nodes and candidate not in net.inputs \
+                    and candidate not in trees:
+                return candidate
+
+    def emit(t: FTree, target: Optional[str] = None) -> str:
+        """Emit subtree ``t``; return its signal name."""
+        if target is None and id(t) in signal_of:
+            return signal_of[id(t)]
+        if t.op == "var":
+            src = str(t.var)
+            if target is None:
+                return src
+            net.add_buf(target, src)
+            return target
+        if t.op in ("const0", "const1"):
+            name_ = target or fresh("const")
+            net.add_const(name_, t.op == "const1")
+            if target is None:
+                signal_of[id(t)] = name_
+            return name_
+        child_signals = [emit(c) for c in t.children]
+        name_ = target or fresh("g")
+        net.add_node(name_, child_signals, list(_GATE_COVERS[t.op]))
+        if target is None:
+            signal_of[id(t)] = name_
+        return name_
+
+    for tree_name in order:
+        tree = trees[tree_name]
+        if id(tree) in signal_of:
+            net.add_buf(tree_name, signal_of[id(tree)])
+        else:
+            emit(tree, target=tree_name)
+            signal_of.setdefault(id(tree), tree_name)
+    net.check()
+    return net
+
+
+def _order_trees(trees: Dict[str, FTree], inputs: Set[str]) -> List[str]:
+    deps: Dict[str, Set[str]] = {}
+    for name, tree in trees.items():
+        deps[name] = {str(v) for v in tree.support() if str(v) in trees}
+    order: List[str] = []
+    state: Dict[str, int] = {}
+
+    def visit(n: str):
+        if state.get(n) == 2:
+            return
+        if state.get(n) == 1:
+            raise ValueError("cyclic dependency among factoring trees at %r" % n)
+        state[n] = 1
+        for d in deps[n]:
+            visit(d)
+        state[n] = 2
+        order.append(n)
+
+    for n in trees:
+        visit(n)
+    return order

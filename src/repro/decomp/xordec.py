@@ -1,0 +1,75 @@
+"""XNOR decomposition (Section III-D).
+
+The *algebraic* case (Theorem 5: an x-dominator on every path) is detected
+by cut-target analysis in :mod:`repro.decomp.dominators` -- a cut whose
+targets are ``{u, ~u}``.
+
+This module implements the *Boolean* case.  Theorem 6: for any G there is
+an H = G xnor F with F = G xnor H, so the art is picking G so that G and H
+are both small.  Definition 10: good candidates come from *generalized
+x-dominators* -- nodes pointed to by at least one complement and one
+regular edge.  For each such node v we form G by substituting the positive
+phase of v with 1 and the negative phase with 0 throughout the BDD (the
+"phase function" of v), then compute H = G xnor F with the standard apply
+operator, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Set
+
+from repro.bdd.manager import BDD, ONE, ZERO
+from repro.bdd.traverse import node_count
+from repro.decomp.cuts import substitute_vertices
+
+
+class XnorDecomposition(NamedTuple):
+    """``F = g xnor h``."""
+
+    g: int
+    h: int
+    dominator: int  # the node index that seeded g
+
+
+def generalized_x_dominators(mgr: BDD, root: int) -> List[int]:
+    """Node indices pointed to by both a complement and a regular edge.
+
+    Edges are taken in the raw (stored) representation, where only 0-edges
+    and external references may carry the complement bit; the root
+    reference itself counts as an incoming edge (Definition 10).
+    """
+    complemented: Set[int] = set()
+    regular: Set[int] = set()
+    seen: Set[int] = set()
+    stack = [root >> 1]
+    (complemented if root & 1 else regular).add(root >> 1)
+    while stack:
+        idx = stack.pop()
+        if idx == 0 or idx in seen:
+            continue
+        seen.add(idx)
+        lo, hi = mgr._lo[idx], mgr._hi[idx]
+        (complemented if lo & 1 else regular).add(lo >> 1)
+        regular.add(hi >> 1)  # then-edges are never complemented
+        stack.append(lo >> 1)
+        stack.append(hi >> 1)
+    out = sorted((complemented & regular) - {0})
+    return out
+
+
+def boolean_xnor_candidates(mgr: BDD, root: int,
+                            max_candidates: int = 8) -> List[XnorDecomposition]:
+    """Candidate Boolean XNOR decompositions seeded by generalized
+    x-dominators.  Every candidate satisfies F = g xnor h by construction
+    (Theorem 6); callers pick by size gain."""
+    out: List[XnorDecomposition] = []
+    seen_g: Set[int] = set()
+    for idx in generalized_x_dominators(mgr, root)[:max_candidates]:
+        pos = idx << 1
+        g = substitute_vertices(mgr, root, {pos: ONE, pos ^ 1: ZERO})
+        if g in (ONE, ZERO, root, root ^ 1) or g in seen_g:
+            continue
+        seen_g.add(g)
+        h = mgr.xnor_(g, root)
+        out.append(XnorDecomposition(g, h, idx))
+    return out

@@ -1,0 +1,23 @@
+"""Technology mapping: tree-based DAG covering over a gate library.
+
+The paper maps both BDS and SIS results onto ``mcnc.genlib`` with the SIS
+tree mapper.  This package rebuilds that machinery:
+
+``genlib``   the embedded gate library (INV/NAND/NOR/AND/OR families,
+             AOI/OAI, XOR/XNOR, MUX) with areas and pin delays
+``subject``  lowering a Boolean network to a structurally hashed
+             NAND2/INV subject DAG
+``mapper``   partition into maximal trees at fanout points, dynamic-
+             programming pattern matching, area/delay reporting, and
+             reconstruction of the mapped netlist for verification
+"""
+
+from repro.mapping.genlib import Cell, Library, mcnc_library
+from repro.mapping.genlib_parse import parse_genlib
+from repro.mapping.lut import LutMappingResult, map_luts
+from repro.mapping.mapper import MappingResult, map_network
+from repro.mapping.timing import TimingReport, analyze_timing, format_timing
+
+__all__ = ["Cell", "Library", "mcnc_library", "parse_genlib",
+           "MappingResult", "map_network", "LutMappingResult", "map_luts",
+           "TimingReport", "analyze_timing", "format_timing"]

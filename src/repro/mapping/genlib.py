@@ -1,0 +1,143 @@
+"""The gate library: an ``mcnc.genlib``-style cell set.
+
+Each cell carries an area (lambda^2-flavoured, so totals land in the same
+magnitude as the paper's tables), a pin-to-output delay, a *pattern* over
+the NAND2/INV subject basis, and a cube cover used to rebuild the mapped
+netlist for verification.
+
+Patterns are nested tuples: ``("nand", p, q)``, ``("inv", p)`` or a leaf
+placeholder string.  A placeholder appearing twice (XOR/XNOR/MUX cells)
+must bind to the *same* subject DAG node -- structural hashing makes that
+an identity check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sop.cube import lit
+
+Pattern = object  # nested tuples / placeholder strings
+
+
+class Cell:
+    """One library cell."""
+
+    def __init__(self, name: str, area: float, delay: float,
+                 pattern: Pattern, inputs: Sequence[str],
+                 cover: List[frozenset]):
+        self.name = name
+        self.area = area
+        self.delay = delay
+        self.pattern = pattern
+        self.inputs = list(inputs)       # placeholder order = pin order
+        self.cover = cover               # over pin positions
+
+    def __repr__(self) -> str:
+        return "Cell(%s, area=%.0f)" % (self.name, self.area)
+
+
+class Library:
+    """A collection of cells plus the mandatory inverter."""
+
+    def __init__(self, cells: Sequence[Cell]):
+        self.cells = list(cells)
+        by_name = {c.name: c for c in self.cells}
+        if "inv1" not in by_name:
+            raise ValueError("library must contain an inv1 cell")
+        self.inverter = by_name["inv1"]
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def by_name(self, name: str) -> Cell:
+        for c in self.cells:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+
+def _and_cover(n):
+    return [frozenset(lit(i) for i in range(n))]
+
+
+def _or_cover(n):
+    return [frozenset({lit(i)}) for i in range(n)]
+
+
+def _inv_cover(cover):
+    """Complement of a small cover via BDD-free De Morgan on these shapes is
+    error-prone; use the sop complement directly."""
+    from repro.sop.cover import complement
+    return complement(cover)
+
+
+def mcnc_library() -> Library:
+    """The default library (areas/delays in mcnc.genlib magnitudes)."""
+    A = 464.0  # lambda^2 per area unit, putting totals in table range
+    cells: List[Cell] = []
+
+    def cell(name, units, delay, pattern, inputs, cover):
+        cells.append(Cell(name, units * A, delay, pattern, inputs, cover))
+
+    inv = lambda p: ("inv", p)
+    nand = lambda p, q: ("nand", p, q)
+
+    cell("inv1", 1, 1.0, inv("a"), ["a"], [frozenset({lit(0, False)})])
+    cell("nand2", 2, 1.2, nand("a", "b"), ["a", "b"],
+         _inv_cover(_and_cover(2)))
+    cell("nand3", 3, 1.4,
+         nand(inv(nand("a", "b")), "c"), ["a", "b", "c"],
+         _inv_cover(_and_cover(3)))
+    cell("nand4", 4, 1.6,
+         nand(inv(nand(inv(nand("a", "b")), "c")), "d"), ["a", "b", "c", "d"],
+         _inv_cover(_and_cover(4)))
+    cell("and2", 3, 1.5, inv(nand("a", "b")), ["a", "b"], _and_cover(2))
+    cell("nor2", 2, 1.4, inv(nand(inv("a"), inv("b"))), ["a", "b"],
+         _inv_cover(_or_cover(2)))
+    cell("nor3", 3, 1.6,
+         inv(nand(inv(nand(inv("a"), inv("b"))), inv("c"))), ["a", "b", "c"],
+         _inv_cover(_or_cover(3)))
+    cell("or2", 3, 1.7, nand(inv("a"), inv("b")), ["a", "b"], _or_cover(2))
+    cell("aoi21", 3, 1.6, inv(nand(nand("a", "b"), inv("c"))),
+         ["a", "b", "c"],
+         _inv_cover([frozenset({lit(0), lit(1)}), frozenset({lit(2)})]))
+    cell("oai21", 3, 1.6, nand(nand(inv("a"), inv("b")), "c"),
+         ["a", "b", "c"],
+         _inv_cover([frozenset({lit(0), lit(2)}), frozenset({lit(1), lit(2)})]))
+    cell("aoi22", 4, 1.8, inv(nand(nand("a", "b"), nand("c", "d"))),
+         ["a", "b", "c", "d"],
+         _inv_cover([frozenset({lit(0), lit(1)}), frozenset({lit(2), lit(3)})]))
+    cell("oai22", 4, 1.8, nand(nand(inv("a"), inv("b")), nand(inv("c"), inv("d"))),
+         ["a", "b", "c", "d"],
+         _inv_cover([frozenset({lit(0), lit(2)}), frozenset({lit(0), lit(3)}),
+                     frozenset({lit(1), lit(2)}), frozenset({lit(1), lit(3)})]))
+    # XOR lowered from SOP is nand(nand(a, inv b), nand(inv a, b)).
+    cell("xor2", 5, 2.0,
+         nand(nand("a", inv("b")), nand(inv("a"), "b")), ["a", "b"],
+         [frozenset({lit(0), lit(1, False)}), frozenset({lit(0, False), lit(1)})])
+    # XNOR lowered from SOP is nand(nand(a, b), nand(inv a, inv b)).
+    cell("xnor2", 5, 2.0,
+         nand(nand("a", "b"), nand(inv("a"), inv("b"))), ["a", "b"],
+         [frozenset({lit(0), lit(1)}), frozenset({lit(0, False), lit(1, False)})])
+    # MUX lowered from SOP {s a, ~s b} is nand(nand(s, a), nand(inv s, b)).
+    cell("mux21", 5, 2.0,
+         nand(nand("s", "a"), nand(inv("s"), "b")), ["s", "a", "b"],
+         [frozenset({lit(0), lit(1)}), frozenset({lit(0, False), lit(2)})])
+    return Library(cells)
+
+
+def pattern_placeholders(pattern: Pattern) -> List[str]:
+    """Placeholder names of a pattern, in first-occurrence order."""
+    out: List[str] = []
+
+    def rec(p):
+        if isinstance(p, str):
+            if p not in out:
+                out.append(p)
+        else:
+            for child in p[1:]:
+                rec(child)
+
+    rec(pattern)
+    return out

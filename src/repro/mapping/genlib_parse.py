@@ -1,0 +1,229 @@
+"""Parser for the genlib gate-library format (SIS/mcnc.genlib style).
+
+Accepts the classic syntax::
+
+    GATE nand2  2.0  O = !(a * b);         PIN * INV 1 999 1.0 0.2 1.0 0.2
+    GATE aoi21  3.0  O = !(a * b + c);     PIN * INV 1 999 1.6 0.3 1.6 0.3
+    GATE xor2   5.0  O = a * !b + !a * b;  PIN * UNKNOWN 2 999 2.0 0 2.0 0
+
+and produces :class:`repro.mapping.genlib.Cell` objects: the output
+expression is parsed to an AST, lowered to the NAND2/INV pattern basis
+(the subject-graph basis of the tree mapper), and evaluated to a cube
+cover for netlist reconstruction.  The cell delay is taken as the maximum
+pin block delay (a simplified timing view).
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapping.genlib import Cell, Library
+from repro.sop.cube import lit
+
+# ----------------------------------------------------------------------
+# Expression AST
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    """Recursive-descent parser for genlib output expressions.
+
+    Grammar:  expr := term (('+'|' ') term)* ;  '+' = OR
+              term := factor ('*'? factor)*   ;  '*' or juxtaposition = AND
+              factor := '!' factor | '(' expr ')' | IDENT | CONST0 | CONST1
+    """
+
+    def __init__(self, text: str):
+        self.tokens = re.findall(r"[A-Za-z_][A-Za-z_0-9]*|[()!*+']|0|1", text)
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def parse(self):
+        e = self.expr()
+        if self.peek() is not None:
+            raise ValueError("trailing tokens in expression: %r" % self.peek())
+        return e
+
+    def expr(self):
+        terms = [self.term()]
+        while self.peek() == "+":
+            self.take()
+            terms.append(self.term())
+        out = terms[0]
+        for t in terms[1:]:
+            out = ("or", out, t)
+        return out
+
+    def term(self):
+        factors = [self.factor()]
+        while True:
+            nxt = self.peek()
+            if nxt == "*":
+                self.take()
+                factors.append(self.factor())
+            elif nxt is not None and nxt not in ("+", ")"):
+                factors.append(self.factor())
+            else:
+                break
+        out = factors[0]
+        for f in factors[1:]:
+            out = ("and", out, f)
+        return out
+
+    def factor(self):
+        tok = self.take()
+        if tok == "!":
+            return ("not", self.factor())
+        if tok == "(":
+            e = self.expr()
+            if self.take() != ")":
+                raise ValueError("missing )")
+            return self._postfix(e)
+        if tok == "0":
+            return ("const", False)
+        if tok == "1":
+            return ("const", True)
+        if re.match(r"[A-Za-z_]", tok):
+            return self._postfix(("var", tok))
+        raise ValueError("unexpected token %r" % tok)
+
+    def _postfix(self, e):
+        # genlib also allows postfix complement with '.
+        while self.peek() == "'":
+            self.take()
+            e = ("not", e)
+        return e
+
+
+def _expr_vars(e, out: List[str]) -> None:
+    tag = e[0]
+    if tag == "var":
+        if e[1] not in out:
+            out.append(e[1])
+    elif tag == "not":
+        _expr_vars(e[1], out)
+    elif tag in ("and", "or"):
+        _expr_vars(e[1], out)
+        _expr_vars(e[2], out)
+
+
+def _expr_eval(e, env: Dict[str, bool]) -> bool:
+    tag = e[0]
+    if tag == "var":
+        return env[e[1]]
+    if tag == "const":
+        return e[1]
+    if tag == "not":
+        return not _expr_eval(e[1], env)
+    a, b = _expr_eval(e[1], env), _expr_eval(e[2], env)
+    return (a and b) if tag == "and" else (a or b)
+
+
+def _expr_to_pattern(e):
+    """Lower the AST to the ('nand',..)/('inv',..)/placeholder basis."""
+    tag = e[0]
+    if tag == "var":
+        return e[1]
+    if tag == "not":
+        inner = _expr_to_pattern(e[1])
+        if isinstance(inner, tuple) and inner[0] == "inv":
+            # !(a*b) lowers to not(inv(nand)) == nand — cancel the pair.
+            return inner[1]
+        return ("inv", inner)
+    if tag == "and":
+        return ("inv", ("nand", _expr_to_pattern(e[1]), _expr_to_pattern(e[2])))
+    if tag == "or":
+        return ("nand", ("inv", _expr_to_pattern(e[1])),
+                ("inv", _expr_to_pattern(e[2])))
+    raise ValueError("constants are not mappable patterns")
+
+
+def _simplify_pattern(p):
+    """Cancel inv(inv(x)) pairs introduced by the mechanical lowering."""
+    if isinstance(p, str):
+        return p
+    if p[0] == "inv":
+        inner = _simplify_pattern(p[1])
+        if isinstance(inner, tuple) and inner[0] == "inv":
+            return inner[1]
+        return ("inv", inner)
+    return ("nand", _simplify_pattern(p[1]), _simplify_pattern(p[2]))
+
+
+# ----------------------------------------------------------------------
+# The genlib file format
+# ----------------------------------------------------------------------
+
+_GATE_RE = re.compile(
+    r"GATE\s+(?P<name>\S+)\s+(?P<area>[\d.]+)\s+(?P<out>\w+)\s*=\s*"
+    r"(?P<expr>[^;]+);(?P<pins>[^G]*)", re.S)
+
+_PIN_RE = re.compile(
+    r"PIN\s+(?P<pin>\S+)\s+(?P<phase>\S+)\s+(?P<load>[\d.]+)\s+"
+    r"(?P<maxload>[\d.eE+]+)\s+(?P<rb>[\d.]+)\s+(?P<rf>[\d.]+)\s+"
+    r"(?P<fb>[\d.]+)\s+(?P<ff>[\d.]+)")
+
+
+def parse_genlib(text: str) -> Library:
+    """Parse genlib text into a :class:`Library`.
+
+    Constant gates and latches are skipped; an inverter cell named or
+    behaving as INV must be present (``inv1`` is synthesized from the
+    smallest single-input complement gate if its name differs).
+    """
+    cells: List[Cell] = []
+    inv_candidate: Optional[Cell] = None
+    for m in _GATE_RE.finditer(_strip_comments(text)):
+        name = m.group("name").strip('"')
+        area = float(m.group("area"))
+        expr = _Parser(m.group("expr")).parse()
+        inputs: List[str] = []
+        _expr_vars(expr, inputs)
+        if not inputs:
+            continue  # constant cells are modelled separately
+        delays = [max(float(p.group("rb")), float(p.group("fb")))
+                  for p in _PIN_RE.finditer(m.group("pins"))]
+        delay = max(delays) if delays else 1.0
+        pattern = _simplify_pattern(_expr_to_pattern(expr))
+        cover = _cover_from_expr(expr, inputs)
+        cell = Cell(name, area, delay, pattern, inputs, cover)
+        cells.append(cell)
+        if (len(inputs) == 1 and not _expr_eval(expr, {inputs[0]: True})
+                and _expr_eval(expr, {inputs[0]: False})):
+            if inv_candidate is None or area < inv_candidate.area:
+                inv_candidate = cell
+    if not any(c.name == "inv1" for c in cells):
+        if inv_candidate is None:
+            raise ValueError("genlib library has no inverter")
+        cells.append(Cell("inv1", inv_candidate.area, inv_candidate.delay,
+                          inv_candidate.pattern, inv_candidate.inputs,
+                          inv_candidate.cover))
+    return Library(cells)
+
+
+def _cover_from_expr(expr, inputs: List[str]):
+    cover = []
+    for bits in itertools.product([False, True], repeat=len(inputs)):
+        env = dict(zip(inputs, bits))
+        if _expr_eval(expr, env):
+            cover.append(frozenset(lit(i, bits[i])
+                                   for i in range(len(inputs))))
+    from repro.sop.minimize import simplify_cover
+
+    return simplify_cover(cover)
+
+
+def _strip_comments(text: str) -> str:
+    out = []
+    for line in text.splitlines():
+        out.append(line.split("#", 1)[0])
+    return "\n".join(out)

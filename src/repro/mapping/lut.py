@@ -1,0 +1,173 @@
+"""K-LUT technology mapping for FPGAs (the paper's Section VI item 4).
+
+The paper reports that BDS is "amenable to FPGA synthesis" with "over 30%
+improvement in the LUT count" ([35], BDS-pga's ancestor).  This module
+implements an area-oriented K-feasible-cut mapper:
+
+1. the network is lowered to the same NAND2/INV subject DAG the cell
+   mapper uses (so both targets see identical structure),
+2. K-feasible cuts are enumerated per vertex (bounded cut sets, standard
+   cut-enumeration with dominance pruning),
+3. a depth-then-area cover chooses one cut per needed output, emitting one
+   K-input LUT per chosen cut.
+
+The mapped result is rebuilt as a :class:`Network` whose nodes are LUT
+truth tables, so it can be verified like any other netlist.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.mapping.subject import SubjectGraph, build_subject
+from repro.network.network import Network
+from repro.sop.cube import lit
+
+
+@dataclass
+class LutMappingResult:
+    network: Network
+    lut_count: int
+    depth: int
+    k: int
+
+    def summary(self) -> str:
+        return "luts=%d depth=%d (K=%d)" % (self.lut_count, self.depth, self.k)
+
+
+def map_luts(net: Network, k: int = 5, max_cuts: int = 12) -> LutMappingResult:
+    """Map a network onto K-input LUTs; returns the LUT netlist + metrics."""
+    if k < 2:
+        raise ValueError("LUTs need at least 2 inputs")
+    sg = build_subject(net)
+    depth, choice = _enumerate_and_choose(sg, k, max_cuts)
+
+    out_net = Network(net.name + "_luts")
+    for i in net.inputs:
+        out_net.add_input(i)
+    for o in net.outputs:
+        out_net.add_output(o)
+
+    emitted: Dict[int, str] = {}
+    signal_of_root = {v: name for name, v in sg.roots.items()}
+    counter = [0]
+
+    def emit(v: int) -> str:
+        """Materialize vertex ``v`` as a LUT; returns its signal name."""
+        if sg.kind[v] == "leaf":
+            return sg.signal[v]
+        if v in emitted:
+            return emitted[v]
+        cut = choice[v]
+        pin_signals = [emit(u) for u in cut]
+        name = signal_of_root.get(v)
+        if name is None:
+            counter[0] += 1
+            name = "_lut%d" % counter[0]
+        cover = _cut_truth_cover(sg, v, list(cut))
+        out_net.add_node(name, pin_signals, cover)
+        emitted[v] = name
+        return name
+
+    lut_depth = 0
+    for name, root in sg.roots.items():
+        if sg.kind[root] == "leaf":
+            out_net.add_buf(name, sg.signal[root])
+            continue
+        emit(root)
+        lut_depth = max(lut_depth, depth[root])
+    _materialize_constants(out_net)
+    out_net.check()
+    luts = sum(1 for n in out_net.nodes.values() if n.fanins)
+    return LutMappingResult(out_net, luts, lut_depth, k)
+
+
+def _enumerate_and_choose(sg: SubjectGraph, k: int, max_cuts: int
+                          ) -> Tuple[Dict[int, int], Dict[int, FrozenSet[int]]]:
+    """Enumerate K-feasible cuts bottom-up, pruning by (depth, size), and
+    pick the best implementation cut per vertex.
+
+    Returns ``(depth, choice)``: the LUT depth and the chosen cut of every
+    operator vertex.
+    """
+    cuts: List[List[FrozenSet[int]]] = [[] for _ in range(len(sg))]
+    depth: Dict[int, int] = {}
+    choice: Dict[int, FrozenSet[int]] = {}
+
+    def cut_depth(cut: FrozenSet[int]) -> int:
+        return 1 + max((depth[u] for u in cut if sg.kind[u] != "leaf"),
+                       default=0)
+
+    for v in range(len(sg)):
+        if sg.kind[v] == "leaf":
+            cuts[v] = [frozenset({v})]
+            depth[v] = 0
+            continue
+        merged: Set[FrozenSet[int]] = set()
+        children = sg.children[v]
+        if len(children) == 1:
+            merged.update(cuts[children[0]])
+        else:
+            a, b = children
+            for ca in cuts[a]:
+                for cb in cuts[b]:
+                    u = ca | cb
+                    if len(u) <= k:
+                        merged.add(u)
+        # Prune: best (depth, size) first, then dominance (drop supersets
+        # of an already kept cut with no better depth).
+        ranked = sorted(merged, key=lambda c: (cut_depth(c), len(c)))
+        kept: List[FrozenSet[int]] = []
+        for cut in ranked:
+            if any(prev <= cut and cut_depth(prev) <= cut_depth(cut)
+                   for prev in kept):
+                continue
+            kept.append(cut)
+            if len(kept) >= max_cuts:
+                break
+        assert kept, "no feasible cut at vertex %d" % v
+        best = kept[0]
+        depth[v] = cut_depth(best)
+        choice[v] = best
+        # The trivial cut must be visible to parents.
+        cuts[v] = kept + [frozenset({v})]
+    return depth, choice
+
+
+def _cut_truth_cover(sg: SubjectGraph, root: int, pins: List[int]):
+    """Truth table of ``root`` as a function of the cut pins, as a cover."""
+    pin_pos = {u: i for i, u in enumerate(pins)}
+    cover = []
+    for bits in itertools.product([False, True], repeat=len(pins)):
+        env = {u: bits[i] for u, i in pin_pos.items()}
+        if _eval_vertex(sg, root, env):
+            cover.append(frozenset(lit(i, bits[i]) for i in range(len(pins))))
+    from repro.sop.minimize import simplify_cover
+
+    return simplify_cover(cover)
+
+
+def _eval_vertex(sg: SubjectGraph, v: int, env: Dict[int, bool]) -> bool:
+    if v in env:
+        return env[v]
+    kind = sg.kind[v]
+    if kind == "leaf":
+        name = sg.signal[v]
+        if name == "__const0__":
+            return False
+        if name == "__const1__":
+            return True
+        raise KeyError("leaf %r outside the cut" % name)
+    if kind == "inv":
+        return not _eval_vertex(sg, sg.children[v][0], env)
+    a, b = sg.children[v]
+    return not (_eval_vertex(sg, a, env) and _eval_vertex(sg, b, env))
+
+
+def _materialize_constants(net: Network) -> None:
+    used = {f for node in net.nodes.values() for f in node.fanins}
+    for cname, value in (("__const0__", False), ("__const1__", True)):
+        if cname in used and cname not in net.nodes:
+            net.add_const(cname, value)

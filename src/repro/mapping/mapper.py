@@ -1,0 +1,276 @@
+"""Tree-based technology mapping by dynamic programming.
+
+For every tree root of the subject graph, the mapper tries every library
+pattern at every vertex (with commutative NAND matching and consistent
+bindings for repeated placeholders), choosing the minimum-area cover.
+Delay is computed afterwards over the selected netlist with the cells'
+pin delays; the mapped netlist is rebuilt as a :class:`Network` so results
+can be formally verified against the optimized network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapping.genlib import Cell, Library, mcnc_library
+from repro.mapping.subject import SubjectGraph, build_subject
+from repro.network.network import Network
+
+
+@dataclass
+class MappedGate:
+    output: str
+    cell: Cell
+    inputs: List[str]
+
+
+@dataclass
+class MappingResult:
+    gates: List[MappedGate]
+    area: float
+    delay: float
+    network: Network
+    cell_histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.gates)
+
+    def summary(self) -> str:
+        return "gates=%d area=%.0f delay=%.2f" % (
+            self.gate_count, self.area, self.delay)
+
+
+def map_network(net: Network, library: Optional[Library] = None,
+                mode: str = "area") -> MappingResult:
+    """Map a Boolean network onto the library; returns gates + metrics.
+
+    ``mode`` selects the covering objective: ``"area"`` (minimum total cell
+    area, the SIS default the paper's tables use) or ``"delay"`` (minimum
+    worst-case arrival, ties broken by area).
+    """
+    if mode not in ("area", "delay"):
+        raise ValueError("mode must be 'area' or 'delay'")
+    library = library or mcnc_library()
+    sg = build_subject(net)
+    gates: List[MappedGate] = []
+    counter = [0]
+
+    def fresh(prefix="m"):
+        counter[0] += 1
+        return "_%s%d" % (prefix, counter[0])
+
+    for signal in _root_order(net, sg):
+        root = sg.roots[signal]
+        best = {} if sg.kind[root] == "leaf" else _map_tree(sg, root, library,
+                                                            mode)
+        _emit(sg, root, best, signal, gates, fresh, library)
+
+    mapped_net = _gates_to_network(net, gates)
+    area = sum(g.cell.area for g in gates)
+    delay = _critical_delay(net, gates)
+    hist: Dict[str, int] = {}
+    for g in gates:
+        hist[g.cell.name] = hist.get(g.cell.name, 0) + 1
+    return MappingResult(gates, area, delay, mapped_net, hist)
+
+
+def _root_order(net: Network, sg: SubjectGraph) -> List[str]:
+    order = [n.name for n in net.topological() if n.name in sg.roots]
+    return order
+
+
+# ----------------------------------------------------------------------
+# DP over one tree
+# ----------------------------------------------------------------------
+
+
+class _Match:
+    __slots__ = ("cell", "bindings", "cost")
+
+    def __init__(self, cell: Cell, bindings: Dict[str, int], cost):
+        self.cell = cell
+        self.bindings = bindings  # placeholder -> subject vertex
+        self.cost = cost          # (area,) or (arrival, area)
+
+
+def _map_tree(sg: SubjectGraph, root: int, library: Library,
+              mode: str = "area") -> Dict[int, _Match]:
+    """Best match per vertex of the tree rooted at ``root``."""
+    best: Dict[int, _Match] = {}
+
+    def cost_of(v: int):
+        if sg.kind[v] == "leaf":
+            return (0.0, 0.0)
+        return solve(v).cost
+
+    def solve(v: int) -> _Match:
+        if v in best:
+            return best[v]
+        choice: Optional[_Match] = None
+        choice_key = None
+        for cell in library:
+            for bindings in _match(sg, v, cell.pattern):
+                input_costs = [cost_of(b) for b in bindings.values()]
+                area = cell.area + sum(c[1] for c in input_costs)
+                arrival = cell.delay + max((c[0] for c in input_costs),
+                                           default=0.0)
+                key = (area, arrival) if mode == "area" else (arrival, area)
+                if choice_key is None or key < choice_key:
+                    choice_key = key
+                    choice = _Match(cell, bindings, (arrival, area))
+        if choice is None:
+            raise RuntimeError("no library cell matches subject vertex %d (%s)"
+                               % (v, sg.kind[v]))
+        best[v] = choice
+        return choice
+
+    solve(root)
+    return best
+
+
+def _match(sg: SubjectGraph, v: int, pattern) -> List[Dict[str, int]]:
+    """All consistent bindings of ``pattern`` at vertex ``v``."""
+    if isinstance(pattern, str):
+        return [{pattern: v}]
+    kind = pattern[0]
+    if sg.kind[v] != kind:
+        return []
+    out: List[Dict[str, int]] = []
+    if kind == "inv":
+        for b in _match(sg, sg.children[v][0], pattern[1]):
+            out.append(b)
+        return out
+    # NAND: try both argument orders.
+    a, b = sg.children[v]
+    for pa, pb in ((pattern[1], pattern[2]), (pattern[2], pattern[1])):
+        for ba in _match(sg, a, pa):
+            for bb in _match(sg, b, pb):
+                merged = _merge(ba, bb)
+                if merged is not None and merged not in out:
+                    out.append(merged)
+    return out
+
+
+def _merge(a: Dict[str, int], b: Dict[str, int]) -> Optional[Dict[str, int]]:
+    merged = dict(a)
+    for k, v in b.items():
+        if merged.get(k, v) != v:
+            return None
+        merged[k] = v
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Netlist emission
+# ----------------------------------------------------------------------
+
+
+def _emit(sg: SubjectGraph, root: int, best: Dict[int, _Match],
+          out_signal: str, gates: List[MappedGate], fresh, library: Library) -> None:
+    """Materialize the chosen cover of one tree as gates."""
+
+    def signal_for(v: int) -> str:
+        if sg.kind[v] == "leaf":
+            return sg.signal[v]
+        return emit_vertex(v, None)
+
+    emitted: Dict[int, str] = {}
+
+    def emit_vertex(v: int, target: Optional[str]) -> str:
+        if target is None and v in emitted:
+            return emitted[v]
+        match = best[v]
+        pins = [signal_for(match.bindings[p]) for p in match.cell.inputs]
+        name = target or fresh()
+        gates.append(MappedGate(name, match.cell, pins))
+        if target is None:
+            emitted[v] = name
+        return name
+
+    if sg.kind[root] == "leaf":
+        # Root degenerated to a wire: emit a buffer via double inverter.
+        inv = library.inverter
+        t = fresh()
+        gates.append(MappedGate(t, inv, [sg.signal[root]]))
+        gates.append(MappedGate(out_signal, inv, [t]))
+        return
+    emit_vertex(root, out_signal)
+
+
+def _gates_to_network(net: Network, gates: List[MappedGate]) -> Network:
+    out = Network(net.name + "_mapped")
+    for i in net.inputs:
+        out.add_input(i)
+    for o in net.outputs:
+        out.add_output(o)
+    const_needed = set()
+    for g in gates:
+        for pin in g.inputs:
+            if pin in ("__const0__", "__const1__"):
+                const_needed.add(pin)
+    for c in const_needed:
+        out.add_const(c, c == "__const1__")
+    for g in gates:
+        fanins, cover = _dedupe_pins(g.inputs, g.cell.cover)
+        out.add_node(g.output, fanins, cover)
+    # Outputs driven directly by PIs need nothing; outputs driven by
+    # constants in the original network need a constant node.
+    for o in net.outputs:
+        if o not in out.nodes and o not in out.inputs:
+            node = net.nodes.get(o)
+            if node is not None and node.constant_value() is not None:
+                out.add_const(o, node.constant_value())
+    out.check()
+    return out
+
+
+def _dedupe_pins(pins: List[str], cover) -> Tuple[List[str], list]:
+    """Merge pins tied to the same signal (a pattern may bind one subject
+    vertex to several placeholders); contradictory cubes drop out."""
+    if len(set(pins)) == len(pins):
+        return list(pins), list(cover)
+    unique: List[str] = []
+    pos_of: Dict[str, int] = {}
+    for s in pins:
+        if s not in pos_of:
+            pos_of[s] = len(unique)
+            unique.append(s)
+    from repro.sop.cube import lit
+    new_cover = []
+    for cube in cover:
+        merged: Dict[int, bool] = {}
+        ok = True
+        for l in cube:
+            p = pos_of[pins[l >> 1]]
+            positive = not (l & 1)
+            if p in merged and merged[p] != positive:
+                ok = False
+                break
+            merged[p] = positive
+        if ok:
+            new_cover.append(frozenset(lit(p, v) for p, v in merged.items()))
+    return unique, new_cover
+
+
+def _critical_delay(net: Network, gates: List[MappedGate]) -> float:
+    arrival: Dict[str, float] = {i: 0.0 for i in net.inputs}
+    arrival["__const0__"] = arrival["__const1__"] = 0.0
+    remaining = list(gates)
+    # Gates are emitted roughly topologically, but resolve iteratively.
+    guard = 0
+    while remaining:
+        progressed = []
+        for g in remaining:
+            if all(p in arrival for p in g.inputs):
+                arrival[g.output] = g.cell.delay + max(
+                    (arrival[p] for p in g.inputs), default=0.0)
+            else:
+                progressed.append(g)
+        if len(progressed) == len(remaining):
+            guard += 1
+            if guard > 2:
+                raise RuntimeError("unresolvable gate ordering in delay calc")
+        remaining = progressed
+    return max((arrival.get(o, 0.0) for o in net.outputs), default=0.0)

@@ -1,0 +1,164 @@
+"""Subject graph: lowering a network to a structurally hashed NAND2/INV DAG.
+
+Every network node's cover is factored algebraically and lowered to
+2-input NAND and INV vertices.  XOR/XNOR/MUX-shaped covers are lowered in
+their canonical NAND shapes so that the corresponding library patterns can
+match (the SIS tree mapper the paper used preserved only a third of the
+XORs; this lowering is what lets ours keep them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.decomp.ftree import FTree
+from repro.network.network import Network, Node
+from repro.sis.factor import factor_cover
+from repro.sop.cube import lit
+
+
+class SubjectGraph:
+    """Hash-consed NAND/INV DAG.
+
+    Vertices are ints; a vertex is either a *leaf* (carrying a signal name)
+    or an operator ("nand" with two children / "inv" with one).
+    """
+
+    def __init__(self):
+        self.kind: List[str] = []       # "leaf" | "nand" | "inv"
+        self.children: List[Tuple[int, ...]] = []
+        self.signal: List[Optional[str]] = []
+        self._leaf_of: Dict[str, int] = {}
+        self._hash: Dict[Tuple, int] = {}
+        self.roots: Dict[str, int] = {}  # network signal -> vertex
+
+    def leaf(self, name: str) -> int:
+        v = self._leaf_of.get(name)
+        if v is None:
+            v = self._push("leaf", (), name)
+            self._leaf_of[name] = v
+        return v
+
+    def inv(self, a: int) -> int:
+        # Cancel double inversion structurally.
+        if self.kind[a] == "inv":
+            return self.children[a][0]
+        return self._hashed("inv", (a,))
+
+    def nand(self, a: int, b: int) -> int:
+        if b < a:
+            a, b = b, a
+        return self._hashed("nand", (a, b))
+
+    def and_(self, a: int, b: int) -> int:
+        return self.inv(self.nand(a, b))
+
+    def or_(self, a: int, b: int) -> int:
+        return self.nand(self.inv(a), self.inv(b))
+
+    def _hashed(self, kind: str, children: Tuple[int, ...]) -> int:
+        key = (kind,) + children
+        v = self._hash.get(key)
+        if v is None:
+            v = self._push(kind, children, None)
+            self._hash[key] = v
+        return v
+
+    def _push(self, kind: str, children: Tuple[int, ...],
+              signal: Optional[str]) -> int:
+        self.kind.append(kind)
+        self.children.append(children)
+        self.signal.append(signal)
+        return len(self.kind) - 1
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+
+def build_subject(net: Network) -> SubjectGraph:
+    """Lower the network into one shared subject DAG, split into trees.
+
+    Signals with a single consumer (and not primary outputs) are inlined
+    into their consumer's tree, so the maximal-tree partition happens here:
+    ``sg.roots`` holds exactly the signals that must materialize as mapped
+    gate outputs -- primary outputs and multi-fanout signals.  Everything
+    else is internal subject structure that multi-gate cells may swallow.
+    """
+    sg = SubjectGraph()
+    fanouts = net.fanouts()
+    inline: Dict[str, int] = {}
+    for node in net.topological():
+        inputs = []
+        for f in node.fanins:
+            if f in inline:
+                inputs.append(inline[f])
+            else:
+                inputs.append(sg.leaf(f))
+        v = _lower_node(sg, node, inputs)
+        single_use = (len(fanouts.get(node.name, ())) == 1
+                      and node.name not in net.outputs)
+        if single_use:
+            inline[node.name] = v
+        else:
+            sg.roots[node.name] = v
+    return sg
+
+
+def _lower_node(sg: SubjectGraph, node: Node, inputs: List[int]) -> int:
+    special = _special_shape(node)
+    if special is not None:
+        return special(sg, inputs)
+    tree = factor_cover(node.cover)
+    return _lower_tree(sg, tree, inputs)
+
+
+def _lower_tree(sg: SubjectGraph, tree: FTree, inputs: List[int]) -> int:
+    memo: Dict[int, int] = {}
+    for t in tree.iter_nodes():
+        if t.op == "var":
+            v = inputs[t.var]
+        elif t.op == "const0":
+            v = sg.leaf("__const0__")
+        elif t.op == "const1":
+            v = sg.leaf("__const1__")
+        elif t.op == "not":
+            v = sg.inv(memo[id(t.children[0])])
+        elif t.op == "and":
+            v = sg.and_(memo[id(t.children[0])], memo[id(t.children[1])])
+        elif t.op == "or":
+            v = sg.or_(memo[id(t.children[0])], memo[id(t.children[1])])
+        elif t.op == "xor":
+            a, b = memo[id(t.children[0])], memo[id(t.children[1])]
+            v = sg.nand(sg.nand(a, sg.inv(b)), sg.nand(sg.inv(a), b))
+        elif t.op == "xnor":
+            a, b = memo[id(t.children[0])], memo[id(t.children[1])]
+            v = sg.nand(sg.nand(a, b), sg.nand(sg.inv(a), sg.inv(b)))
+        else:  # mux
+            s, hi, lo = (memo[id(c)] for c in t.children)
+            v = sg.nand(sg.nand(s, hi), sg.nand(sg.inv(s), lo))
+        memo[id(t)] = v
+    return memo[id(tree)]
+
+
+def _special_shape(node: Node):
+    """Detect 2-input XOR/XNOR and MUX covers; return a lowering callback."""
+    n = len(node.fanins)
+    cubes = set(node.cover)
+    if n == 2:
+        xor_cover = {frozenset({lit(0), lit(1, False)}),
+                     frozenset({lit(0, False), lit(1)})}
+        xnor_cover = {frozenset({lit(0), lit(1)}),
+                      frozenset({lit(0, False), lit(1, False)})}
+        if cubes == xor_cover:
+            return lambda sg, ins: sg.nand(sg.nand(ins[0], sg.inv(ins[1])),
+                                           sg.nand(sg.inv(ins[0]), ins[1]))
+        if cubes == xnor_cover:
+            return lambda sg, ins: sg.nand(sg.nand(ins[0], ins[1]),
+                                           sg.nand(sg.inv(ins[0]), sg.inv(ins[1])))
+    if n == 3:
+        mux_cover = {frozenset({lit(0), lit(1)}),
+                     frozenset({lit(0, False), lit(2)})}
+        if cubes == mux_cover:
+            return lambda sg, ins: sg.nand(sg.nand(ins[0], ins[1]),
+                                           sg.nand(sg.inv(ins[0]), ins[2]))
+    return None

@@ -1,0 +1,92 @@
+"""Static timing analysis over mapped netlists.
+
+Arrival/required/slack computation and critical-path extraction on a
+:class:`MappingResult` -- the reporting layer behind the Delay columns of
+the experiment tables, exposed for downstream use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.mapping.mapper import MappedGate, MappingResult
+
+
+@dataclass
+class TimingReport:
+    arrival: Dict[str, float]
+    required: Dict[str, float]
+    slack: Dict[str, float]
+    critical_path: List[str]      # signals from a PI to the worst output
+    worst_delay: float
+
+    def worst_output(self) -> Optional[str]:
+        return self.critical_path[-1] if self.critical_path else None
+
+
+def analyze_timing(result: MappingResult,
+                   required_time: Optional[float] = None) -> TimingReport:
+    """Compute arrival/required/slack and the critical path of a mapping."""
+    net = result.network
+    gates: Dict[str, MappedGate] = {g.output: g for g in result.gates}
+    arrival: Dict[str, float] = {i: 0.0 for i in net.inputs}
+    arrival["__const0__"] = arrival["__const1__"] = 0.0
+    worst_input: Dict[str, Optional[str]] = {}
+    for node in net.topological():
+        gate = gates.get(node.name)
+        if gate is None:
+            # constant node or buffer introduced during reconstruction
+            arrival[node.name] = max(
+                (arrival.get(f, 0.0) for f in node.fanins), default=0.0)
+            worst_input[node.name] = max(
+                node.fanins, key=lambda f: arrival.get(f, 0.0), default=None
+            ) if node.fanins else None
+            continue
+        ins = gate.inputs
+        worst = max(ins, key=lambda p: arrival.get(p, 0.0)) if ins else None
+        base = arrival.get(worst, 0.0) if worst is not None else 0.0
+        arrival[node.name] = base + gate.cell.delay
+        worst_input[node.name] = worst
+    worst_delay = max((arrival.get(o, 0.0) for o in net.outputs), default=0.0)
+    target = required_time if required_time is not None else worst_delay
+
+    # Required times propagate backwards.
+    required: Dict[str, float] = {}
+    for o in net.outputs:
+        required[o] = min(required.get(o, target), target)
+    for node in reversed(net.topological()):
+        gate = gates.get(node.name)
+        req = required.get(node.name)
+        if req is None:
+            continue
+        delay = gate.cell.delay if gate is not None else 0.0
+        pins = gate.inputs if gate is not None else node.fanins
+        for pin in pins:
+            cand = req - delay
+            if pin not in required or cand < required[pin]:
+                required[pin] = cand
+
+    slack = {name: required[name] - arrival.get(name, 0.0)
+             for name in required}
+
+    # Critical path: walk worst inputs backwards from the worst output.
+    path: List[str] = []
+    if net.outputs:
+        cur = max(net.outputs, key=lambda o: arrival.get(o, 0.0))
+        while cur is not None:
+            path.append(cur)
+            cur = worst_input.get(cur)
+        path.reverse()
+    return TimingReport(arrival, required, slack, path, worst_delay)
+
+
+def format_timing(report: TimingReport, top: int = 10) -> str:
+    """Readable summary: worst path and the tightest-slack signals."""
+    lines = ["worst delay: %.2f" % report.worst_delay,
+             "critical path: " + " -> ".join(report.critical_path)]
+    tight = sorted(report.slack.items(), key=lambda kv: kv[1])[:top]
+    lines.append("tightest slacks:")
+    for name, s in tight:
+        lines.append("  %-20s %8.2f" % (name, s))
+    return "\n".join(lines)

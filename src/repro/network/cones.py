@@ -1,0 +1,125 @@
+"""Network cone analysis: transitive fanin cones, MFFCs, cone extraction
+and full collapsing.
+
+These are the standard structural queries of a logic-synthesis network
+package: the BDS paper's eliminate reasons about supernode granularity,
+and any downstream user of this library (mappers, verifiers, partitioners)
+needs cones and maximum fanout-free cones (MFFCs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.network.network import Network, Node
+from repro.sop.cube import lit
+
+
+def transitive_fanin(net: Network, signal: str) -> Set[str]:
+    """All signals (nodes and PIs) in the cone of ``signal``, inclusive."""
+    seen: Set[str] = set()
+    stack = [signal]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        node = net.nodes.get(name)
+        if node is not None:
+            stack.extend(node.fanins)
+    return seen
+
+
+def transitive_fanout(net: Network, signal: str) -> Set[str]:
+    """All node names whose cone contains ``signal`` (exclusive)."""
+    fanouts = net.fanouts()
+    seen: Set[str] = set()
+    stack = list(fanouts.get(signal, ()))
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(fanouts.get(name, ()))
+    return seen
+
+
+def mffc(net: Network, root: str) -> Set[str]:
+    """Maximum fanout-free cone of node ``root``: the nodes whose every
+    path to an output passes through ``root`` (so collapsing/removing the
+    root frees them all)."""
+    if root not in net.nodes:
+        return set()
+    fanouts = net.fanouts()
+    cone: Set[str] = {root}
+    changed = True
+    while changed:
+        changed = False
+        for name in list(cone):
+            for fanin in net.nodes[name].fanins:
+                if fanin in cone or fanin not in net.nodes:
+                    continue
+                if fanin in net.outputs:
+                    continue
+                if all(consumer in cone for consumer in fanouts.get(fanin, ())):
+                    cone.add(fanin)
+                    changed = True
+    return cone
+
+
+def extract_cone(net: Network, outputs: Sequence[str],
+                 name: str = "cone") -> Network:
+    """A standalone network computing ``outputs``; cone PIs become inputs."""
+    keep: Set[str] = set()
+    for o in outputs:
+        keep |= transitive_fanin(net, o)
+    out = Network(name)
+    for i in net.inputs:
+        if i in keep:
+            out.add_input(i)
+    for node in net.topological():
+        if node.name in keep:
+            out.add_node(node.name, list(node.fanins), list(node.cover))
+    for o in outputs:
+        out.add_output(o)
+    out.check()
+    return out
+
+
+def collapse_to_two_level(net: Network, max_cubes: int = 100000
+                          ) -> Optional[Network]:
+    """Fully collapse the network: one SOP node per output over the PIs.
+
+    Returns None when any output's cover would exceed ``max_cubes`` (the
+    classic two-level blowup).  Uses the BDD bridge (global BDD -> ISOP)
+    rather than cube substitution, which keeps the covers irredundant.
+    """
+    from repro.bdd import BDD
+    from repro.bdd.isop import isop
+    from repro.verify.cec import _global_bdd, _initial_order
+
+    mgr = BDD()
+    var_of = {name: mgr.new_var(name) for name in _initial_order(net)}
+    out = Network(net.name + "_2lvl")
+    for i in net.inputs:
+        out.add_input(i)
+    cache: Dict[str, Optional[int]] = {}
+    for o in net.outputs:
+        ref = _global_bdd(mgr, net, o, var_of, cache, size_cap=max_cubes)
+        if ref is None:
+            return None
+        if o in net.inputs:
+            out.add_output(o)
+            continue
+        cover_vars = isop(mgr, ref)
+        if len(cover_vars) > max_cubes:
+            return None
+        supp = sorted({v for cube in cover_vars for v in cube},
+                      key=mgr.level_of_var)
+        pos = {v: i for i, v in enumerate(supp)}
+        cover = [frozenset(lit(pos[v], val) for v, val in cube.items())
+                 for cube in cover_vars]
+        out.add_node(o, [mgr.var_name(v) for v in supp], cover)
+        out.add_output(o)
+    out.check()
+    return out

@@ -1,0 +1,330 @@
+"""Network sweep: the paper's first synthesis step (Section IV-A).
+
+"Removal of initial redundancy from the Boolean network ... in addition to
+removing constant and single-variable nodes, all functionally equivalent
+nodes are also identified and removed."  Functional duplicates are found by
+bit-parallel random simulation signatures and confirmed exactly with global
+BDDs (bounded); the paper credits this step with much of BDS's runtime
+advantage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.network import Network, Node
+from repro.sop.cover import cover_cofactor, cover_support
+from repro.sop.cube import lit
+
+
+def sweep(net: Network, merge_equivalent: bool = True, seed: int = 2000,
+          bdd_cap: int = 500) -> Network:
+    """Sweep the network in place; returns it for chaining."""
+    changed = True
+    passes = 0
+    while changed:
+        passes += 1
+        if passes > 50:  # safety net against normal-form ping-pong
+            break
+        changed = False
+        changed |= _propagate_constants(net)
+        changed |= _squeeze_single_input(net)
+        changed |= _merge_structural(net)
+        if net.remove_dangling():
+            changed = True
+    if merge_equivalent:
+        if _merge_functional(net, seed=seed, bdd_cap=bdd_cap):
+            # Merging can expose more constants/buffers.
+            sweep(net, merge_equivalent=False)
+    net.check()
+    return net
+
+
+# ----------------------------------------------------------------------
+# Constants
+# ----------------------------------------------------------------------
+
+
+def _propagate_constants(net: Network) -> bool:
+    changed = False
+    fanouts = net.fanouts()
+    for node in list(net.nodes.values()):
+        if node.name not in net.nodes:
+            continue
+        value = node.constant_value()
+        if value is None:
+            continue
+        for out_name in fanouts.get(node.name, ()):
+            consumer = net.nodes.get(out_name)
+            if consumer is None:
+                continue
+            while node.name in consumer.fanins:
+                idx = consumer.fanins.index(node.name)
+                consumer.cover = cover_cofactor(consumer.cover, lit(idx, value))
+                # Rebuild fanins without position idx.
+                consumer.fanins = consumer.fanins[:idx] + consumer.fanins[idx + 1:]
+                consumer.cover = [
+                    frozenset((l - 2) if (l >> 1) > idx else l for l in cube)
+                    for cube in consumer.cover
+                ]
+                changed = True
+        if node.name not in net.outputs and not fanouts.get(node.name):
+            del net.nodes[node.name]
+            changed = True
+        elif node.fanins:
+            # Canonical constant node.
+            node.fanins = []
+            node.cover = [frozenset()] if value else []
+            changed = True
+    return changed
+
+
+# ----------------------------------------------------------------------
+# Buffers and inverters
+# ----------------------------------------------------------------------
+
+
+def _single_input_kind(node: Node) -> Optional[bool]:
+    """None if not single-input; True for buffer, False for inverter."""
+    if len(node.fanins) != 1:
+        return None
+    if node.cover == [frozenset({lit(0, True)})]:
+        return True
+    if node.cover == [frozenset({lit(0, False)})]:
+        return False
+    return None
+
+
+def substitute_fanin(node: Node, idx: int, new_signal: str, invert: bool) -> None:
+    """Replace fanin position ``idx`` by ``new_signal`` (possibly inverted),
+    merging duplicate fanins and dropping contradictory cubes."""
+    signals = list(node.fanins)
+    signals[idx] = new_signal
+    unique: List[str] = []
+    pos_of: Dict[str, int] = {}
+    for s in signals:
+        if s not in pos_of:
+            pos_of[s] = len(unique)
+            unique.append(s)
+    new_cover = []
+    for cube in node.cover:
+        pairs: Dict[int, bool] = {}
+        ok = True
+        for l in cube:
+            old_pos, positive = l >> 1, not (l & 1)
+            if old_pos == idx and invert:
+                positive = not positive
+            new_pos = pos_of[signals[old_pos]]
+            if new_pos in pairs and pairs[new_pos] != positive:
+                ok = False
+                break
+            pairs[new_pos] = positive
+        if ok:
+            new_cover.append(frozenset(lit(p, v) for p, v in pairs.items()))
+    node.fanins = unique
+    node.cover = new_cover
+    node.normalize()
+
+
+def _squeeze_single_input(net: Network) -> bool:
+    changed = False
+    fanouts = net.fanouts()
+    for node in list(net.nodes.values()):
+        if node.name not in net.nodes:
+            continue
+        kind = _single_input_kind(node)
+        if kind is None:
+            continue
+        source = node.fanins[0]
+        invert = not kind
+        for out_name in fanouts.get(node.name, ()):
+            consumer = net.nodes.get(out_name)
+            if consumer is None:
+                continue
+            while node.name in consumer.fanins:
+                substitute_fanin(consumer, consumer.fanins.index(node.name),
+                                 source, invert)
+                changed = True
+        if node.name not in net.outputs and not fanouts.get(node.name):
+            # Interior buffer/inverter with no remaining consumers.
+            del net.nodes[node.name]
+            changed = True
+        # Output-driving buffers/inverters are kept: outputs must preserve
+        # their names, and an inverter carries real logic.
+    return changed
+
+
+def _redirect(net: Network, old: str, new: str) -> None:
+    """Make every consumer read ``new`` instead of node ``old``.
+
+    Output names are part of the interface: when ``old`` drives an output
+    it is downgraded to a buffer of ``new`` instead of being deleted.
+    """
+    for node in net.nodes.values():
+        if node.name == old:
+            continue
+        if old in node.fanins:
+            while old in node.fanins:
+                substitute_fanin(node, node.fanins.index(old), new, False)
+    if old in net.outputs:
+        buf = net.nodes[old]
+        buf.fanins = [new]
+        buf.cover = [frozenset({lit(0, True)})]
+    else:
+        del net.nodes[old]
+
+
+# ----------------------------------------------------------------------
+# Structural duplicate removal
+# ----------------------------------------------------------------------
+
+
+def _structural_key(node: Node) -> Tuple:
+    order = sorted(range(len(node.fanins)), key=lambda i: node.fanins[i])
+    remap = {old: new for new, old in enumerate(order)}
+    cover = frozenset(
+        frozenset(lit(remap[l >> 1], not (l & 1)) for l in cube)
+        for cube in node.cover
+    )
+    return tuple(node.fanins[i] for i in order), cover
+
+
+def _merge_structural(net: Network) -> bool:
+    changed = False
+    seen: Dict[Tuple, str] = {}
+    for node in net.topological():
+        if node.name not in net.nodes:
+            continue
+        if node.name in net.outputs and _single_input_kind(node) is True:
+            # A pure buffer aliasing an output name is already minimal;
+            # merging it with another alias would fight the buffer
+            # squeezing pass over the normal form (ping-pong).
+            continue
+        key = _structural_key(node)
+        keep = seen.get(key)
+        if keep is None:
+            seen[key] = node.name
+        elif keep != node.name:
+            _redirect(net, node.name, keep)
+            changed = True
+    return changed
+
+
+# ----------------------------------------------------------------------
+# Functional duplicate removal
+# ----------------------------------------------------------------------
+
+
+def _merge_functional(net: Network, seed: int, bdd_cap: int) -> bool:
+    """Merge nodes with identical global functions (signature + BDD proof)."""
+    from repro.bdd import BDD
+    from repro.bdd.traverse import node_count
+
+    rng = random.Random(seed)
+    width = 256
+    words: Dict[str, int] = {
+        i: rng.getrandbits(width) for i in net.inputs
+    }
+    values = dict(words)
+    topo = net.topological()
+    mask = (1 << width) - 1
+    for node in topo:
+        fanin_words = [values[f] for f in node.fanins]
+        acc = 0
+        for cube in node.cover:
+            term = mask
+            for l in cube:
+                w = fanin_words[l >> 1]
+                term &= (w ^ mask) if (l & 1) else w
+            acc |= term
+        values[node.name] = acc
+
+    groups: Dict[int, List[str]] = {}
+    for name in [*net.inputs, *(n.name for n in topo)]:
+        groups.setdefault(values[name], []).append(name)
+
+    candidates = []
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        # An output alias (buffer of another member) is already minimal;
+        # proving it equivalent would just rebuild its whole cone.
+        members = []
+        for name in group:
+            node = net.nodes.get(name)
+            if (node is not None and name in net.outputs
+                    and _single_input_kind(node) is True
+                    and node.fanins[0] in group):
+                continue
+            members.append(name)
+        if len(members) > 1:
+            candidates.append(members)
+    if not candidates:
+        return False
+
+    # Exact confirmation with bounded global BDDs (FORCE-ordered inputs
+    # keep structured circuits like shifters from blowing the cap).
+    from repro.verify.cec import _initial_order
+
+    mgr = BDD()
+    pi_var = {i: mgr.var_ref(mgr.new_var(i)) for i in _initial_order(net)}
+    global_bdd: Dict[str, Optional[int]] = dict(pi_var)
+
+    # Overall work budget: once the manager holds this many nodes, stop
+    # proving equivalences (the sweep is an optimization, not a must).
+    allocation_budget = 40 * bdd_cap
+
+    def build(name: str) -> Optional[int]:
+        if name in global_bdd:
+            return global_bdd[name]
+        if mgr.num_nodes_allocated > allocation_budget:
+            return None
+        node = net.nodes[name]
+        fanin_refs = []
+        for f in node.fanins:
+            r = build(f)
+            if r is None:
+                global_bdd[name] = None
+                return None
+            fanin_refs.append(r)
+        from repro.bdd.manager import ZERO
+        acc = ZERO
+        for cube in node.cover:
+            term = 0  # ONE
+            for l in cube:
+                litref = fanin_refs[l >> 1] ^ (l & 1)
+                term = mgr.and_(term, litref)
+                if mgr.num_nodes_allocated > allocation_budget:
+                    global_bdd[name] = None
+                    return None
+            acc = mgr.or_(acc, term)
+            if mgr.num_nodes_allocated > allocation_budget:
+                global_bdd[name] = None
+                return None
+        if node_count(mgr, acc) > bdd_cap:
+            global_bdd[name] = None
+            return None
+        global_bdd[name] = acc
+        return acc
+
+    changed = False
+    for group in candidates:
+        keep_by_ref: Dict[int, str] = {}
+        for name in group:
+            ref = build(name)
+            if ref is None:
+                continue
+            keep = keep_by_ref.get(ref)
+            if keep is None:
+                keep_by_ref[ref] = name
+            elif name in net.nodes:
+                node = net.nodes[name]
+                if (name in net.outputs and node.fanins == [keep]
+                        and _single_input_kind(node) is True):
+                    continue  # already a buffer of the keeper
+                _redirect(net, name, keep)
+                changed = True
+    if changed:
+        net.remove_dangling()
+    return changed

@@ -1,0 +1,76 @@
+"""Algebraic (weak) division of cube covers.
+
+``f / d`` is the largest cover q such that ``q * d + r = f`` with the
+product expanded algebraically (no Boolean simplification) and ``r`` the
+remainder.  Standard Brayton-McMullen algorithm: divide by each cube of the
+divisor and intersect the partial quotients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.sop.cover import Cover
+from repro.sop.cube import Cube
+
+
+def divide_by_cube(cover: Cover, cube: Cube) -> Cover:
+    """Quotient of ``cover / cube``: cubes of the cover containing ``cube``,
+    with its literals removed."""
+    out = []
+    for c in cover:
+        if cube <= c:
+            out.append(c - cube)
+    return out
+
+
+def algebraic_divide(f: Cover, d: Cover) -> Tuple[Cover, Cover]:
+    """Weak division: returns (quotient, remainder) with f = q*d + r."""
+    if not d:
+        raise ValueError("division by the empty cover")
+    if d == [frozenset()]:
+        # Division by the constant-one cover.
+        return list(f), []
+    quotient: Optional[Set[Cube]] = None
+    for dcube in d:
+        partial = set(divide_by_cube(f, dcube))
+        quotient = partial if quotient is None else (quotient & partial)
+        if not quotient:
+            return [], list(f)
+    q = sorted(quotient, key=sorted)
+    covered = set()
+    for qcube in q:
+        for dcube in d:
+            covered.add(frozenset(qcube | dcube))
+    remainder = [c for c in f if c not in covered]
+    return q, remainder
+
+
+def cube_free(cover: Cover) -> bool:
+    """A cover is cube-free iff no literal appears in every cube."""
+    if not cover:
+        return False
+    common = set(cover[0])
+    for cube in cover[1:]:
+        common &= cube
+        if not common:
+            return True
+    return not common
+
+
+def largest_common_cube(cover: Cover) -> Cube:
+    """The product of literals common to every cube."""
+    if not cover:
+        return frozenset()
+    common = set(cover[0])
+    for cube in cover[1:]:
+        common &= cube
+    return frozenset(common)
+
+
+def make_cube_free(cover: Cover) -> Cover:
+    """Strip the largest common cube."""
+    common = largest_common_cube(cover)
+    if not common:
+        return list(cover)
+    return [c - common for c in cover]

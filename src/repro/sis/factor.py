@@ -1,0 +1,92 @@
+"""Algebraic factoring ("good factor") of cube covers.
+
+Produces a factored form as an expression tree (reusing
+:class:`repro.decomp.ftree.FTree` with AND/OR/NOT nodes and literal
+leaves), the representation SIS uses for literal counting and as the
+starting point of technology decomposition.
+
+Algorithm: classic good-factor -- pick the best kernel as divisor, divide,
+recurse on quotient, divisor and remainder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.decomp.ftree import CONST0, CONST1, FTree, negate, op2, var_leaf
+from repro.sis.division import algebraic_divide, largest_common_cube, make_cube_free
+from repro.sis.kernels import all_kernels
+from repro.sop.cover import Cover, literal_count
+from repro.sop.cube import Cube
+
+
+def _cube_tree(cube: Cube) -> FTree:
+    if not cube:
+        return CONST1
+    tree: Optional[FTree] = None
+    for l in sorted(cube):
+        leaf = var_leaf(l >> 1)
+        if l & 1:
+            leaf = negate(leaf)
+        tree = leaf if tree is None else op2("and", tree, leaf)
+    return tree
+
+
+def factor_cover(cover: Cover) -> FTree:
+    """Factored form of a cover; leaves are the cover's variable ids."""
+    if not cover:
+        return CONST0
+    if any(not cube for cube in cover):
+        return CONST1
+    if len(cover) == 1:
+        return _cube_tree(cover[0])
+    # Divide out the largest common cube first.
+    common = largest_common_cube(cover)
+    if common:
+        rest = factor_cover(make_cube_free(cover))
+        return op2("and", _cube_tree(common), rest)
+    divisor = _best_kernel(cover)
+    if divisor is None:
+        # No kernel with >= 2 cubes: the cover is its own "sum of cubes".
+        tree: Optional[FTree] = None
+        for cube in cover:
+            t = _cube_tree(cube)
+            tree = t if tree is None else op2("or", tree, t)
+        return tree
+    quotient, remainder = algebraic_divide(cover, divisor)
+    if not quotient:
+        tree = None
+        for cube in cover:
+            t = _cube_tree(cube)
+            tree = t if tree is None else op2("or", tree, t)
+        return tree
+    product = op2("and", factor_cover(quotient), factor_cover(divisor))
+    if not remainder:
+        return product
+    return op2("or", product, factor_cover(remainder))
+
+
+def _best_kernel(cover: Cover) -> Optional[Cover]:
+    """Kernel maximizing the literal savings as a divisor."""
+    best = None
+    best_score = 0
+    for cokernel, kernel in all_kernels(cover):
+        if len(kernel) < 2:
+            continue
+        if frozenset(map(frozenset, kernel)) == frozenset(map(frozenset, cover)):
+            continue
+        quotient, _ = algebraic_divide(cover, kernel)
+        if len(quotient) < 1:
+            continue
+        # Literal savings estimate of extracting this divisor.
+        saving = (len(quotient) - 1) * literal_count(kernel) \
+            + (len(kernel) - 1) * literal_count(quotient)
+        if saving > best_score:
+            best_score = saving
+            best = kernel
+    return best
+
+
+def factored_literal_count(cover: Cover) -> int:
+    """Literals in the factored form -- the SIS quality metric."""
+    return factor_cover(cover).literal_count()

@@ -1,0 +1,122 @@
+"""Kernel-intersection extraction (the classic ``gkx``-style step).
+
+``fast_extract`` handles single- and double-cube divisors; this module
+extracts *multi-cube kernels* shared between nodes: kernels of all node
+covers are intersected (:func:`repro.sis.kernels.kernel_intersections`),
+the intersection with the best literal saving becomes a new node, and
+every node it divides is rewritten algebraically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.network.network import Network, Node
+from repro.sis.fx import _named_cover, _named_divide
+from repro.sis.kernels import all_kernels
+from repro.sop.cover import remove_contained
+from repro.sop.cube import lit
+
+NamedCube = FrozenSet[Tuple[str, bool]]
+NamedCover = List[NamedCube]
+
+
+def extract_kernels(net: Network, max_rounds: int = 50,
+                    min_saving: int = 2, max_node_cubes: int = 60) -> int:
+    """Extract shared multi-cube kernels; returns nodes created."""
+    created = 0
+    for _ in range(max_rounds):
+        best = _best_kernel_divisor(net, min_saving, max_node_cubes)
+        if best is None:
+            break
+        _materialize(net, best)
+        created += 1
+    return created
+
+
+def _named_kernels(node: Node, max_node_cubes: int) -> List[NamedCover]:
+    if len(node.cover) > max_node_cubes or len(node.cover) < 2:
+        return []
+    out: List[NamedCover] = []
+    # The trivial kernel (the cover made cube-free) matters here: another
+    # node may contain exactly this cover as its shared divisor.
+    for _, kernel in all_kernels(node.cover, include_trivial=True):
+        if len(kernel) < 2:
+            continue
+        named = [
+            frozenset((node.fanins[l >> 1], not (l & 1)) for l in cube)
+            for cube in kernel
+        ]
+        out.append(named)
+    return out
+
+
+def _best_kernel_divisor(net: Network, min_saving: int,
+                         max_node_cubes: int) -> Optional[NamedCover]:
+    table: Dict[FrozenSet[NamedCube], Set[str]] = {}
+    for node in net.nodes.values():
+        for kernel in _named_kernels(node, max_node_cubes):
+            key = frozenset(kernel)
+            table.setdefault(key, set()).add(node.name)
+    best = None
+    best_saving = min_saving - 1
+    for key, users in table.items():
+        if len(users) < 2:
+            continue
+        kernel = sorted(key, key=sorted)
+        kernel_lits = sum(len(c) for c in kernel)
+        # Exact saving by trial division into every user.
+        saving = -kernel_lits  # cost of materializing the kernel node
+        for user in users:
+            node = net.nodes[user]
+            named = _named_cover(node)
+            quotient, remainder = _named_divide(named, kernel)
+            if not quotient:
+                continue
+            old_lits = sum(len(c) for c in named)
+            new_lits = (sum(len(c) + 1 for c in quotient)
+                        + sum(len(c) for c in remainder))
+            saving += max(0, old_lits - new_lits)
+        if saving > best_saving:
+            best_saving = saving
+            best = kernel
+    return best
+
+
+def _materialize(net: Network, kernel: NamedCover) -> str:
+    signals = sorted({s for cube in kernel for s, _ in cube})
+    pos = {s: i for i, s in enumerate(signals)}
+    cover = [frozenset(lit(pos[s], p) for s, p in cube) for cube in kernel]
+    name = net.fresh_name("kx")
+    net.add_node(name, signals, cover)
+    new_node = net.nodes[name]
+    for node in list(net.nodes.values()):
+        if node.name == name:
+            continue
+        _divide_in(node, new_node, kernel)
+    return name
+
+
+def _divide_in(node: Node, divisor_node: Node, kernel: NamedCover) -> None:
+    named = _named_cover(node)
+    quotient, remainder = _named_divide(named, kernel)
+    if not quotient:
+        return
+    signals: List[str] = []
+    seen: Set[str] = set()
+    for cube in quotient + remainder:
+        for s, _ in cube:
+            if s not in seen:
+                seen.add(s)
+                signals.append(s)
+    if divisor_node.name not in seen:
+        signals.append(divisor_node.name)
+    pos = {s: i for i, s in enumerate(signals)}
+    div_lit = lit(pos[divisor_node.name], True)
+    new_cover = [frozenset({div_lit} | {lit(pos[s], p) for s, p in cube})
+                 for cube in quotient]
+    new_cover += [frozenset(lit(pos[s], p) for s, p in cube)
+                  for cube in remainder]
+    node.fanins = signals
+    node.cover = remove_contained(new_cover)
+    node.normalize()

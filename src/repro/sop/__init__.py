@@ -1,0 +1,48 @@
+"""Cube and sum-of-products (SOP) algebra.
+
+This is the "predominant cube representation" the paper's introduction
+contrasts BDDs against -- it is the substrate of the SIS-like algebraic
+baseline (``repro.sis``) and of BLIF node functions.
+
+A *literal* is an int: ``2*var`` for the positive literal of ``var`` and
+``2*var + 1`` for the negative literal.  A *cube* is a ``frozenset`` of
+literals (a product term); the empty cube is the tautology cube.  A *cover*
+is a list of cubes (their disjunction).
+"""
+
+from repro.sop.cube import (
+    POS,
+    NEG,
+    cube_and,
+    cube_contains,
+    cube_cofactor,
+    cube_from_pairs,
+    cube_vars,
+    lit,
+    lit_var,
+    lit_positive,
+    lit_negate,
+)
+from repro.sop.cover import (
+    complement,
+    cover_and,
+    cover_cofactor,
+    cover_contains_cube,
+    cover_eval,
+    cover_or,
+    cover_support,
+    is_tautology,
+    literal_count,
+    remove_contained,
+)
+from repro.sop.minimize import simplify_cover, irredundant, expand
+
+__all__ = [
+    "POS", "NEG", "lit", "lit_var", "lit_positive", "lit_negate",
+    "cube_and", "cube_contains", "cube_cofactor", "cube_from_pairs",
+    "cube_vars",
+    "complement", "cover_and", "cover_cofactor", "cover_contains_cube",
+    "cover_eval", "cover_or", "cover_support", "is_tautology",
+    "literal_count", "remove_contained",
+    "simplify_cover", "irredundant", "expand",
+]

@@ -1,0 +1,183 @@
+"""Cover-level operations: tautology, complement, containment, cofactors.
+
+Tautology checking and complementation use the classic unate recursive
+paradigm (Brayton et al. [1]): pick the most-binate variable, recurse on the
+two cofactors, with unate-cover shortcuts at the leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.sop.cube import (
+    Cube,
+    cube_and,
+    cube_cofactor,
+    cube_contains,
+    cube_eval,
+    lit,
+)
+
+Cover = List[Cube]
+
+TAUTOLOGY_CUBE: Cube = frozenset()
+
+
+def cover_support(cover: Cover) -> Set[int]:
+    out: Set[int] = set()
+    for cube in cover:
+        for l in cube:
+            out.add(l >> 1)
+    return out
+
+
+def literal_count(cover: Cover) -> int:
+    """Total literal count -- the SIS cost metric for covers."""
+    return sum(len(cube) for cube in cover)
+
+
+def cover_eval(cover: Cover, assignment: Dict[int, bool]) -> bool:
+    return any(cube_eval(cube, assignment) for cube in cover)
+
+
+def cover_cofactor(cover: Cover, literal: int) -> Cover:
+    """Cofactor of a cover with respect to a literal (Shannon)."""
+    out: Cover = []
+    for cube in cover:
+        c = cube_cofactor(cube, literal)
+        if c is not None:
+            out.append(c)
+            if not c:
+                return [TAUTOLOGY_CUBE]
+    return out
+
+
+def cover_cofactor_cube(cover: Cover, cube: Cube) -> Cover:
+    """Cofactor of a cover with respect to every literal of ``cube``."""
+    out = cover
+    for literal in cube:
+        out = cover_cofactor(out, literal)
+    return out
+
+
+def remove_contained(cover: Cover) -> Cover:
+    """Drop cubes single-cube-contained in another cube of the cover."""
+    kept: Cover = []
+    # Sort by literal count so containers come first.
+    for cube in sorted(set(cover), key=len):
+        if not any(cube_contains(k, cube) for k in kept):
+            kept.append(cube)
+    return kept
+
+
+def _most_binate_var(cover: Cover) -> Optional[int]:
+    """Variable appearing in both polarities in the most cubes; None if the
+    cover is unate."""
+    pos: Dict[int, int] = {}
+    neg: Dict[int, int] = {}
+    for cube in cover:
+        for l in cube:
+            (neg if l & 1 else pos)[l >> 1] = (neg if l & 1 else pos).get(l >> 1, 0) + 1
+    best, best_score = None, -1
+    for v in set(pos) & set(neg):
+        score = pos[v] + neg[v]
+        if score > best_score:
+            best, best_score = v, score
+    if best is not None:
+        return best
+    # Unate cover: split on the most frequent variable if a split is ever
+    # requested (callers normally hit the unate shortcut first).
+    counts: Dict[int, int] = {}
+    for cube in cover:
+        for l in cube:
+            counts[l >> 1] = counts.get(l >> 1, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=counts.get)
+
+
+def is_tautology(cover: Cover) -> bool:
+    """Unate-recursive tautology check."""
+    if any(not cube for cube in cover):
+        return True
+    if not cover:
+        return False
+    # Unate shortcut: a unate cover is a tautology iff it has the
+    # tautology cube (already checked above).
+    pos_vars: Set[int] = set()
+    neg_vars: Set[int] = set()
+    for cube in cover:
+        for l in cube:
+            (neg_vars if l & 1 else pos_vars).add(l >> 1)
+    binate = pos_vars & neg_vars
+    if not binate:
+        return False
+    v = max(binate, key=lambda u: sum(1 for c in cover if lit(u) in c or lit(u, False) in c))
+    return (is_tautology(cover_cofactor(cover, lit(v, True)))
+            and is_tautology(cover_cofactor(cover, lit(v, False))))
+
+
+def cover_contains_cube(cover: Cover, cube: Cube) -> bool:
+    """True iff every minterm of ``cube`` is covered by ``cover``."""
+    return is_tautology(cover_cofactor_cube(cover, cube))
+
+
+class ComplementTooLarge(Exception):
+    """Raised when a bounded complement exceeds its cube budget."""
+
+
+def complement(cover: Cover, variables: Optional[Iterable[int]] = None,
+               limit: Optional[int] = None) -> Cover:
+    """Complement of a cover (unate recursive / Shannon).
+
+    ``variables`` bounds the universe; defaults to the cover's support.
+    ``limit`` bounds the result size in cubes: exceeded -> raises
+    :class:`ComplementTooLarge` (the guard ``script.rugged`` effectively
+    gets from espresso's ``nocomp`` mode).
+    """
+    budget = [limit] if limit is not None else None
+    return _complement(cover, budget)
+
+
+def _complement(cover: Cover, budget) -> Cover:
+    if any(not cube for cube in cover):
+        return []
+    if not cover:
+        return [TAUTOLOGY_CUBE]
+    if len(cover) == 1:
+        # De Morgan on a single cube.
+        return [frozenset([l ^ 1]) for l in cover[0]]
+    v = _most_binate_var(cover)
+    assert v is not None
+    p = _complement(cover_cofactor(cover, lit(v, True)), budget)
+    n = _complement(cover_cofactor(cover, lit(v, False)), budget)
+    out: Cover = []
+    for cube in p:
+        out.append(cube | {lit(v, True)})
+    for cube in n:
+        out.append(cube | {lit(v, False)})
+    if budget is not None:
+        budget[0] -= len(out)
+        if budget[0] < 0:
+            raise ComplementTooLarge()
+    return remove_contained(out)
+
+
+def cover_or(a: Cover, b: Cover) -> Cover:
+    return remove_contained(list(a) + list(b))
+
+
+def cover_and(a: Cover, b: Cover) -> Cover:
+    out: Cover = []
+    for ca in a:
+        for cb in b:
+            c = cube_and(ca, cb)
+            if c is not None:
+                out.append(c)
+    return remove_contained(out)
+
+
+def cover_equal(a: Cover, b: Cover) -> bool:
+    """Semantic equality of two covers (containment both ways)."""
+    return (all(cover_contains_cube(b, c) for c in a)
+            and all(cover_contains_cube(a, c) for c in b))

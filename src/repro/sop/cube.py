@@ -1,0 +1,86 @@
+"""Cube primitives: literal encoding and single-cube operations."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+Cube = FrozenSet[int]
+
+POS = 0
+NEG = 1
+
+
+def lit(var: int, positive: bool = True) -> int:
+    """Encode a literal of ``var``."""
+    return 2 * var + (0 if positive else 1)
+
+
+def lit_var(literal: int) -> int:
+    return literal >> 1
+
+
+def lit_positive(literal: int) -> bool:
+    return not (literal & 1)
+
+
+def lit_negate(literal: int) -> int:
+    return literal ^ 1
+
+
+def cube_from_pairs(pairs: Iterable[Tuple[int, bool]]) -> Cube:
+    """Build a cube from (var, positive) pairs."""
+    return frozenset(lit(v, p) for v, p in pairs)
+
+
+def cube_vars(cube: Cube) -> Set[int]:
+    return {l >> 1 for l in cube}
+
+
+def cube_and(a: Cube, b: Cube) -> Optional[Cube]:
+    """Product of two cubes; ``None`` when they contradict (empty cube)."""
+    out = a | b
+    for l in out:
+        if (l ^ 1) in out:
+            return None
+    return out
+
+
+def cube_contains(big: Cube, small: Cube) -> bool:
+    """True iff the minterm set of ``big`` contains that of ``small``.
+
+    A cube with *fewer* literals covers more minterms, so containment is
+    literal-set inclusion in reverse.
+    """
+    return big <= small
+
+
+def cube_cofactor(cube: Cube, literal: int) -> Optional[Cube]:
+    """Cofactor of a cube with respect to a literal.
+
+    Returns ``None`` when the cube lies entirely outside the literal's
+    halfspace (the cofactor is empty), otherwise the cube with the literal's
+    variable dropped.
+    """
+    if (literal ^ 1) in cube:
+        return None
+    if literal in cube:
+        return cube - {literal}
+    return cube
+
+
+def cube_eval(cube: Cube, assignment: Dict[int, bool]) -> bool:
+    """Evaluate a cube under a complete assignment."""
+    for l in cube:
+        value = assignment[l >> 1]
+        if (l & 1) == 0:
+            if not value:
+                return False
+        else:
+            if value:
+                return False
+    return True
+
+
+def cube_distance(a: Cube, b: Cube) -> int:
+    """Number of variables on which the cubes have opposing literals."""
+    return sum(1 for l in a if (l ^ 1) in b)

@@ -1,0 +1,144 @@
+"""Two-level minimization: an espresso-style simplify pass.
+
+The SIS baseline's per-node ``simplify`` needs a cube-domain minimizer (the
+real SIS calls espresso).  We implement the classic EXPAND -> IRREDUNDANT
+loop (one REDUCE-free pass by default, which is what ``simplify`` in
+``script.rugged`` effectively costs) on completely specified functions,
+with an optional don't-care cover.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sop.cover import (
+    ComplementTooLarge,
+    Cover,
+    complement,
+    cover_cofactor_cube,
+    cover_contains_cube,
+    is_tautology,
+    literal_count,
+    remove_contained,
+)
+from repro.sop.cube import Cube
+
+__all__ = ["expand", "irredundant", "reduce_cubes", "simplify_cover",
+           "espresso_minimize"]
+
+
+def expand(cover: Cover, offset: Cover) -> Cover:
+    """Expand each cube against the offset (make cubes prime-ish).
+
+    A literal can be dropped from a cube if the enlarged cube still avoids
+    the offset.  Greedy single-pass, biggest cubes first.
+    """
+    expanded: Cover = []
+    for cube in sorted(cover, key=len):
+        cur = set(cube)
+        for literal in sorted(cube):
+            trial = frozenset(cur - {literal})
+            if not _intersects(trial, offset):
+                cur.discard(literal)
+        expanded.append(frozenset(cur))
+    return remove_contained(expanded)
+
+
+def _intersects(cube: Cube, offset: Cover) -> bool:
+    """Does the cube contain any offset minterm?"""
+    for off in offset:
+        clash = False
+        for l in off:
+            if (l ^ 1) in cube:
+                clash = True
+                break
+        if not clash:
+            return True
+    return False
+
+
+def irredundant(cover: Cover, dc: Optional[Cover] = None) -> Cover:
+    """Remove cubes covered by the rest of the cover (plus don't-cares)."""
+    dc = dc or []
+    out = list(remove_contained(cover))
+    i = 0
+    while i < len(out):
+        rest = out[:i] + out[i + 1:] + dc
+        if cover_contains_cube(rest, out[i]):
+            out.pop(i)
+        else:
+            i += 1
+    return out
+
+
+def reduce_cubes(cover: Cover, dc: Optional[Cover] = None,
+                 complement_limit: int = 2000) -> Cover:
+    """REDUCE: shrink each cube to the supercube of its essential part.
+
+    A cube's essential part is the set of its minterms covered by no other
+    cube (nor by the don't-care set); replacing the cube by the smallest
+    cube containing that part keeps the cover's function but unlocks
+    better expansions on the next espresso iteration.
+    """
+    dc = dc or []
+    out = list(cover)
+    for i in range(len(out)):
+        cube = out[i]
+        rest = out[:i] + out[i + 1:] + dc
+        rest_cof = cover_cofactor_cube(rest, cube)
+        if is_tautology(rest_cof):
+            continue  # fully redundant; irredundant's job, not reduce's
+        try:
+            essential = complement(rest_cof, limit=complement_limit)
+        except ComplementTooLarge:
+            continue
+        if not essential:
+            continue
+        supercube = set(essential[0])
+        for other in essential[1:]:
+            supercube &= other
+        out[i] = frozenset(cube | supercube)
+    return out
+
+
+def espresso_minimize(cover: Cover, dc: Optional[Cover] = None,
+                      max_iterations: int = 5) -> Cover:
+    """The full EXPAND -> IRREDUNDANT -> REDUCE loop, iterated to a
+    fixpoint of the literal count (bounded by ``max_iterations``)."""
+    dc = dc or []
+    if not cover:
+        return []
+    if any(not cube for cube in cover):
+        return [frozenset()]
+    best = simplify_cover(cover, dc)
+    for _ in range(max_iterations):
+        reduced = reduce_cubes(best, dc)
+        candidate = simplify_cover(reduced, dc)
+        if literal_count(candidate) >= literal_count(best):
+            break
+        best = candidate
+    return best
+
+
+def simplify_cover(cover: Cover, dc: Optional[Cover] = None) -> Cover:
+    """One espresso-like pass: complement -> expand -> irredundant.
+
+    Keeps the result only when it does not increase the literal count.
+    """
+    dc = dc or []
+    if not cover:
+        return []
+    if any(not cube for cube in cover):
+        return [frozenset()]
+    base = remove_contained(cover)
+    try:
+        # Bounded offset computation: when the complement would explode
+        # (espresso's classic worst case) fall back to the expansion-free
+        # pass, exactly like simplify's "nocomp" mode in script.rugged.
+        offset = complement(base + dc, limit=20 * len(base) + 200)
+    except ComplementTooLarge:
+        return irredundant(base, dc)
+    improved = irredundant(expand(base, offset), dc)
+    if literal_count(improved) <= literal_count(base):
+        return improved
+    return base

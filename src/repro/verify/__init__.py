@@ -1,0 +1,9 @@
+"""Verification: BDD-based combinational equivalence checking (the paper's
+``-verify`` option) plus bit-parallel random simulation as a fallback for
+circuits whose global BDDs blow up (the paper could not verify C6288 either
+way and fell back to per-step checks)."""
+
+from repro.verify.cec import check_equivalence, EquivalenceResult
+from repro.verify.simulate import simulate_equivalence
+
+__all__ = ["check_equivalence", "EquivalenceResult", "simulate_equivalence"]

@@ -1,0 +1,112 @@
+"""Coverage for remaining public API surface: network editing helpers,
+partition queries, stats objects, and package exports."""
+
+import itertools
+
+import pytest
+
+from repro.decomp.engine import DecompStats
+from repro.decomp.ftree import op2, var_leaf
+from repro.network import Network
+from repro.network.eliminate import PartitionedNetwork
+from repro.sop.cube import lit
+
+
+class TestNetworkEditing:
+    def test_replace_signal(self):
+        net = Network()
+        for n in "abc":
+            net.add_input(n)
+        net.add_output("y")
+        net.add_and("y", ["a", "b"])
+        net.replace_signal("b", "c")
+        assert net.nodes["y"].fanins == ["a", "c"]
+        assert net.eval({"a": True, "b": False, "c": True})["y"] is True
+
+    def test_stats_dict(self):
+        net = Network()
+        net.add_input("a")
+        net.add_output("y")
+        net.add_not("y", "a")
+        s = net.stats()
+        assert s == {"inputs": 1, "outputs": 1, "nodes": 1, "literals": 1,
+                     "depth": 1}
+
+    def test_repr(self):
+        net = Network("named")
+        assert "named" in repr(net)
+        net.add_input("a")
+        net.add_output("y")
+        node = net.add_node("y", ["a"], [frozenset({lit(0)})])
+        assert "y" in repr(node)
+
+    def test_eval_words_custom_width(self):
+        net = Network()
+        net.add_input("a")
+        net.add_output("y")
+        net.add_not("y", "a")
+        out = net.eval_words({"a": 0b1010}, width=4)
+        assert out["y"] == 0b0101
+
+    def test_node_constant_value(self):
+        net = Network()
+        net.add_input("a")
+        k1 = net.add_node("k1", [], [frozenset()])
+        k0 = net.add_node("k0", [], [])
+        assert k1.constant_value() is True
+        assert k0.constant_value() is False
+        g = net.add_node("g", ["a"], [frozenset({lit(0)})])
+        assert g.constant_value() is None
+
+
+class TestPartitionQueries:
+    def _net(self):
+        net = Network()
+        for n in "abc":
+            net.add_input(n)
+        net.add_output("y")
+        net.add_and("t", ["a", "b"])
+        net.add_or("y", ["t", "c"])
+        return net
+
+    def test_fanin_signals(self):
+        part = PartitionedNetwork.from_network(self._net())
+        assert part.fanin_signals("y") == ["c", "t"]
+        assert part.fanin_signals("t") == ["a", "b"]
+
+    def test_fanouts(self):
+        part = PartitionedNetwork.from_network(self._net())
+        assert part.fanouts()["t"] == ["y"]
+
+    def test_pollution_zero_when_fresh(self):
+        part = PartitionedNetwork.from_network(self._net())
+        assert 0.0 <= part._pollution() < 1.0
+
+
+class TestStatsObjects:
+    def test_decomp_stats_total(self):
+        s = DecompStats(simple_and=2, boolean_xnor=3, shannon=1)
+        assert s.total() == 6
+        d = s.as_dict()
+        assert d["boolean_xnor"] == 3
+
+    def test_ftree_iter_nodes_shares(self):
+        shared = op2("and", var_leaf("a"), var_leaf("b"))
+        tree = op2("or", shared, op2("xor", shared, var_leaf("c")))
+        nodes = list(tree.iter_nodes())
+        # The shared object appears exactly once in the iteration.
+        assert sum(1 for t in nodes if t is shared) == 1
+
+
+class TestPackageExports:
+    def test_top_level_imports(self):
+        import repro
+        from repro.bdd import BDD, and_exists, sift, transfer
+        from repro.bds import bds_optimize
+        from repro.decomp import decompose, extract_sharing
+        from repro.mapping import analyze_timing, map_luts, map_network, \
+            parse_genlib
+        from repro.network import parse_blif
+        from repro.sis import script_rugged
+        from repro.verify import check_equivalence
+        assert repro.__version__

@@ -1,0 +1,109 @@
+"""Tests for factoring-tree balancing (Section VI item 3 extension)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bds import BDSOptions, bds_optimize
+from repro.circuits import parity_tree
+from repro.decomp.balance import balance_forest, balance_tree
+from repro.decomp.ftree import FTree, mux, negate, op2, var_leaf
+from repro.network import Network
+from repro.verify import check_equivalence
+
+
+def chain(op, names):
+    t = var_leaf(names[0])
+    for n in names[1:]:
+        t = op2(op, t, var_leaf(n))
+    return t
+
+
+def _equiv(t1, t2, names):
+    for bits in itertools.product([False, True], repeat=len(names)):
+        env = dict(zip(names, bits))
+        if t1.evaluate(env) != t2.evaluate(env):
+            return False
+    return True
+
+
+class TestBalanceTree:
+    @pytest.mark.parametrize("op", ["and", "or", "xor", "xnor"])
+    def test_chain_becomes_logarithmic(self, op):
+        names = list("abcdefgh")
+        t = chain(op, names)
+        assert t.depth() == 7
+        b = balance_tree(t)
+        assert b.depth() <= 3 + (1 if op == "xnor" else 0)
+        assert _equiv(t, b, names)
+
+    def test_preserves_semantics_random(self):
+        rng = random.Random(5)
+        names = list("abcde")
+        for _ in range(40):
+            t = _random_tree(rng, names, depth=5)
+            b = balance_tree(t)
+            assert _equiv(t, b, names), t.to_expr()
+            assert b.depth() <= t.depth() + 1  # xnor polarity may add a NOT
+
+    def test_uneven_operand_depths(self):
+        # A deep operand should be combined last (Huffman property).
+        deep = chain("and", list("abcd"))      # depth 3
+        t = op2("or", op2("or", deep, var_leaf("x")), var_leaf("y"))
+        b = balance_tree(t)
+        # depth stays 4: the OR chain adds only 1 level over the deep AND.
+        assert b.depth() <= 4
+        assert _equiv(t, b, list("abcdxy"))
+
+    def test_xnor_parity_polarity(self):
+        names = list("abc")
+        t = chain("xnor", names)   # a xnor b xnor c == parity(a,b,c)... check
+        b = balance_tree(t)
+        assert _equiv(t, b, names)
+
+    def test_mux_children_balanced(self):
+        t = mux(var_leaf("s"), chain("and", list("abcd")),
+                chain("or", list("wxyz")))
+        b = balance_tree(t)
+        assert b.op == "mux"
+        assert b.depth() <= 3
+        assert _equiv(t, b, list("sabcdwxyz"))
+
+    def test_forest(self):
+        trees = {"f": chain("xor", list("abcdefgh")),
+                 "g": chain("and", list("abcd"))}
+        balanced = balance_forest(trees)
+        assert set(balanced) == {"f", "g"}
+        assert balanced["f"].depth() <= 4
+
+
+class TestBalanceInFlow:
+    def test_flow_with_balancing_equivalent_and_shallower(self):
+        # A parity chain (deliberately linear, not the balanced tree).
+        net = Network("chain")
+        names = [net.add_input("x%d" % i) for i in range(12)]
+        prev = names[0]
+        for i in range(1, 12):
+            cur = "p%d" % i if i < 11 else "out"
+            net.add_xor(cur, [prev, names[i]])
+            prev = cur
+        net.add_output("out")
+        plain = bds_optimize(net, BDSOptions(balance_trees=False))
+        balanced = bds_optimize(net, BDSOptions(balance_trees=True))
+        assert check_equivalence(net, plain.network).equivalent
+        assert check_equivalence(net, balanced.network).equivalent
+        assert balanced.network.depth() <= plain.network.depth()
+
+
+def _random_tree(rng, names, depth):
+    if depth == 0 or rng.random() < 0.25:
+        t = var_leaf(rng.choice(names))
+        return negate(t) if rng.random() < 0.3 else t
+    op = rng.choice(["and", "or", "xor", "xnor", "mux"])
+    if op == "mux":
+        return mux(_random_tree(rng, names, depth - 1),
+                   _random_tree(rng, names, depth - 1),
+                   _random_tree(rng, names, depth - 1))
+    return op2(op, _random_tree(rng, names, depth - 1),
+               _random_tree(rng, names, depth - 1))

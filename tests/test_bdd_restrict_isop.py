@@ -1,0 +1,178 @@
+"""Tests for restrict/constrain don't-care minimization and ISOP extraction."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD, ONE, ZERO
+from repro.bdd.isop import cover_literal_count, cover_to_bdd, isop, isop_interval
+from repro.bdd.restrict import constrain, minimize_with_dc, restrict
+from repro.bdd.traverse import node_count
+
+
+@pytest.fixture
+def mgr():
+    return BDD()
+
+
+def _random_function(mgr, variables, rng, n_ops=25):
+    refs = [mgr.var_ref(v) for v in variables]
+    for _ in range(n_ops):
+        f, g = rng.choice(refs), rng.choice(refs)
+        if rng.random() < 0.3:
+            f ^= 1
+        refs.append(getattr(mgr, rng.choice(["and_", "or_", "xor_"]))(f, g))
+    return refs[-1]
+
+
+class TestRestrict:
+    def test_care_one_is_identity(self, mgr):
+        a = mgr.new_var("a")
+        f = mgr.var_ref(a)
+        assert restrict(mgr, f, ONE) == f
+
+    def test_agrees_on_care_set(self, mgr):
+        rng = random.Random(23)
+        vs = [mgr.new_var() for _ in range(6)]
+        for trial in range(20):
+            f = _random_function(mgr, vs, rng)
+            c = _random_function(mgr, vs, rng)
+            if c == ZERO:
+                continue
+            r = restrict(mgr, f, c)
+            assert mgr.and_(r, c) == mgr.and_(f, c), "restrict must agree on care set"
+
+    def test_tends_to_shrink(self, mgr):
+        # Classic example: f = a&b | ~a&c with care = a  ->  just b.
+        a, b, c = (mgr.new_var(n) for n in "abc")
+        f = mgr.ite(mgr.var_ref(a), mgr.var_ref(b), mgr.var_ref(c))
+        r = restrict(mgr, f, mgr.var_ref(a))
+        assert r == mgr.var_ref(b)
+
+    def test_never_introduces_new_support_blowup(self, mgr):
+        rng = random.Random(29)
+        vs = [mgr.new_var() for _ in range(6)]
+        for trial in range(20):
+            f = _random_function(mgr, vs, rng)
+            c = _random_function(mgr, vs, rng)
+            if c == ZERO:
+                continue
+            r = restrict(mgr, f, c)
+            # restrict is a heuristic, but it should rarely grow; assert a
+            # loose sanity bound rather than strict non-growth.
+            assert node_count(mgr, r) <= 2 * node_count(mgr, f) + 2
+
+    def test_care_zero(self, mgr):
+        a = mgr.new_var("a")
+        assert restrict(mgr, mgr.var_ref(a), ZERO) == ZERO
+
+
+class TestConstrain:
+    def test_agrees_on_care_set(self, mgr):
+        rng = random.Random(31)
+        vs = [mgr.new_var() for _ in range(5)]
+        for trial in range(20):
+            f = _random_function(mgr, vs, rng)
+            c = _random_function(mgr, vs, rng)
+            if c == ZERO:
+                continue
+            r = constrain(mgr, f, c)
+            assert mgr.and_(r, c) == mgr.and_(f, c)
+
+    def test_constrain_identity(self, mgr):
+        # constrain(f, f) == 1 for satisfiable f.
+        rng = random.Random(37)
+        vs = [mgr.new_var() for _ in range(5)]
+        f = _random_function(mgr, vs, rng)
+        if f not in (ONE, ZERO):
+            assert constrain(mgr, f, f) == ONE
+
+
+class TestMinimizeWithDC:
+    def test_interval_respected(self, mgr):
+        rng = random.Random(41)
+        vs = [mgr.new_var() for _ in range(6)]
+        for trial in range(25):
+            f = _random_function(mgr, vs, rng)
+            dc = _random_function(mgr, vs, rng)
+            onset = mgr.and_(f, dc ^ 1)
+            g = minimize_with_dc(mgr, onset, dc)
+            assert mgr.leq(onset, g)
+            assert mgr.leq(g, mgr.or_(onset, dc))
+
+    def test_no_dc_returns_onset(self, mgr):
+        a = mgr.new_var("a")
+        f = mgr.var_ref(a)
+        assert minimize_with_dc(mgr, f, ZERO) == f
+
+    def test_paper_fig3_quotient(self, mgr):
+        # Fig. 3 / Example 2: F = ~e + ~b d; divisor D = ~e + d.
+        # Minimizing F with offset(D) = e ~d as DC must give a quotient Q
+        # with D & Q == F; the paper's minimum is Q = ~e + ~b (4 nodes).
+        e, b, d = (mgr.new_var(n) for n in "ebd")
+        rb, rd, re_ = (mgr.var_ref(v) for v in (b, d, e))
+        f = mgr.or_(mgr.not_(re_), mgr.and_(mgr.not_(rb), rd))
+        div = mgr.or_(mgr.not_(re_), rd)
+        assert mgr.leq(f, div), "F must be contained in the divisor"
+        q = minimize_with_dc(mgr, f, div ^ 1)
+        assert mgr.and_(div, q) == f
+        expected = mgr.or_(mgr.not_(re_), mgr.not_(rb))
+        assert node_count(mgr, q) <= node_count(mgr, expected)
+
+
+class TestIsop:
+    def test_cover_equals_function(self, mgr):
+        rng = random.Random(43)
+        vs = [mgr.new_var() for _ in range(6)]
+        for trial in range(25):
+            f = _random_function(mgr, vs, rng)
+            cover = isop(mgr, f)
+            assert cover_to_bdd(mgr, cover) == f
+
+    def test_constants(self, mgr):
+        mgr.new_var("a")
+        assert isop(mgr, ZERO) == []
+        assert isop(mgr, ONE) == [{}]
+
+    def test_irredundant(self, mgr):
+        rng = random.Random(47)
+        vs = [mgr.new_var() for _ in range(5)]
+        for trial in range(10):
+            f = _random_function(mgr, vs, rng)
+            cover = isop(mgr, f)
+            for i in range(len(cover)):
+                reduced = cover[:i] + cover[i + 1:]
+                assert cover_to_bdd(mgr, reduced) != f or f == ZERO, (
+                    "cube %d is redundant" % i)
+
+    def test_interval(self, mgr):
+        rng = random.Random(53)
+        vs = [mgr.new_var() for _ in range(6)]
+        for trial in range(20):
+            f = _random_function(mgr, vs, rng)
+            g = _random_function(mgr, vs, rng)
+            lower = mgr.and_(f, g)
+            upper = mgr.or_(f, g)
+            cover, cover_bdd = isop_interval(mgr, lower, upper)
+            assert cover_to_bdd(mgr, cover) == cover_bdd
+            assert mgr.leq(lower, cover_bdd)
+            assert mgr.leq(cover_bdd, upper)
+
+    def test_interval_validation(self, mgr):
+        a, b = mgr.new_var("a"), mgr.new_var("b")
+        with pytest.raises(ValueError):
+            isop_interval(mgr, mgr.or_(mgr.var_ref(a), mgr.var_ref(b)),
+                          mgr.and_(mgr.var_ref(a), mgr.var_ref(b)))
+
+    def test_literal_count(self, mgr):
+        a, b = mgr.new_var("a"), mgr.new_var("b")
+        cover = isop(mgr, mgr.and_(mgr.var_ref(a), mgr.var_ref(b)))
+        assert cover_literal_count(cover) == 2
+        assert cover_literal_count([{}]) == 0
+
+    def test_xor_cover(self, mgr):
+        vs = [mgr.new_var() for _ in range(3)]
+        f = mgr.xor_many([mgr.var_ref(v) for v in vs])
+        cover = isop(mgr, f)
+        assert len(cover) == 4  # 3-input parity needs 4 minterms
+        assert cover_to_bdd(mgr, cover) == f

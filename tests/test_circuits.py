@@ -1,0 +1,202 @@
+"""Tests for the benchmark circuit generators (functional correctness)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    TABLE1_CIRCUITS,
+    array_multiplier,
+    barrel_shifter,
+    build_circuit,
+    comparator,
+    parity_tree,
+    ripple_adder,
+    simple_alu,
+)
+from repro.circuits.iscas import ecc_corrector, ecc_secded, interrupt_controller
+from repro.circuits.registry import expand_xors
+from repro.verify import check_equivalence
+
+
+def _word(net, out, prefix, n, assignment):
+    vals = net.eval(assignment)
+    return sum(int(vals["%s%d" % (prefix, i)]) << i for i in range(n))
+
+
+class TestAdder:
+    def test_exhaustive_4bit(self):
+        net = ripple_adder(4)
+        for a in range(16):
+            for b in range(16):
+                assignment = {}
+                for i in range(4):
+                    assignment["a%d" % i] = bool(a >> i & 1)
+                    assignment["b%d" % i] = bool(b >> i & 1)
+                vals = net.eval(assignment)
+                got = sum(int(vals["fa%d_s" % i]) << i for i in range(4))
+                got += int(vals[net.outputs[-1]]) << 4
+                assert got == a + b
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("bits", [2, 3, 4])
+    def test_exhaustive(self, bits):
+        net = array_multiplier(bits)
+        for a in range(1 << bits):
+            for b in range(1 << bits):
+                assignment = {}
+                for i in range(bits):
+                    assignment["a%d" % i] = bool(a >> i & 1)
+                    assignment["b%d" % i] = bool(b >> i & 1)
+                got = _word(net, None, "p", 2 * bits, assignment)
+                assert got == a * b, (a, b)
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_rotation(self, width):
+        net = barrel_shifter(width)
+        rng = random.Random(5)
+        stages = width.bit_length() - 1
+        for _ in range(40):
+            data = rng.getrandbits(width)
+            amount = rng.randrange(width)
+            assignment = {}
+            for i in range(width):
+                assignment["d%d" % i] = bool(data >> i & 1)
+            for s in range(stages):
+                assignment["s%d" % s] = bool(amount >> s & 1)
+            vals = net.eval(assignment)
+            got = sum(int(vals["o%d" % i]) << i for i in range(width))
+            expected = ((data >> amount) | (data << (width - amount))) \
+                & ((1 << width) - 1)
+            assert got == expected, (data, amount)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            barrel_shifter(12)
+
+
+class TestComparator:
+    def test_exhaustive_3bit(self):
+        net = comparator(3)
+        for a in range(8):
+            for b in range(8):
+                assignment = {}
+                for i in range(3):
+                    assignment["a%d" % i] = bool(a >> i & 1)
+                    assignment["b%d" % i] = bool(b >> i & 1)
+                vals = net.eval(assignment)
+                assert vals["eq"] == (a == b)
+                assert vals["gt"] == (a > b)
+                assert vals["lt"] == (a < b)
+
+
+class TestParityAlu:
+    def test_parity(self):
+        net = parity_tree(8)
+        rng = random.Random(7)
+        for _ in range(50):
+            bits = [rng.random() < 0.5 for _ in range(8)]
+            assignment = {"x%d" % i: b for i, b in enumerate(bits)}
+            assert net.eval(assignment)["parity"] == (sum(bits) % 2 == 1)
+
+    def test_alu_ops(self):
+        net = simple_alu(4)
+        rng = random.Random(9)
+        for _ in range(60):
+            a, b = rng.randrange(16), rng.randrange(16)
+            op = rng.randrange(4)
+            assignment = {"op0": bool(op & 1), "op1": bool(op >> 1)}
+            for i in range(4):
+                assignment["a%d" % i] = bool(a >> i & 1)
+                assignment["b%d" % i] = bool(b >> i & 1)
+            vals = net.eval(assignment)
+            got = sum(int(vals["r%d" % i]) << i for i in range(4))
+            # op1=0: op0 selects add / and; op1=1: op0 selects or / xor.
+            expected = [a + b & 15, a & b, a | b, a ^ b][op]
+            assert got == expected, (a, b, op)
+
+
+class TestEcc:
+    def test_corrects_single_errors(self):
+        data_bits, check_bits = 8, 5
+        net = ecc_corrector(data_bits, check_bits)
+        from repro.circuits.iscas import _hamming_patterns
+        patterns = _hamming_patterns(data_bits, check_bits)
+        rng = random.Random(11)
+        for _ in range(30):
+            word = rng.getrandbits(data_bits)
+            # Compute correct check bits: parity of member data bits.
+            checks = []
+            for j in range(check_bits):
+                parity = 0
+                for i in range(data_bits):
+                    if patterns[i] >> j & 1:
+                        parity ^= word >> i & 1
+                checks.append(parity)
+            flip = rng.randrange(data_bits + 1)  # data bit or no error
+            received = word ^ ((1 << flip) if flip < data_bits else 0)
+            assignment = {}
+            for i in range(data_bits):
+                assignment["d%d" % i] = bool(received >> i & 1)
+            for j in range(check_bits):
+                assignment["c%d" % j] = bool(checks[j])
+            vals = net.eval(assignment)
+            got = sum(int(vals["o%d" % i]) << i for i in range(data_bits))
+            assert got == word, (word, flip)
+
+    def test_secded_builds_and_checks(self):
+        net = ecc_secded(8, 5)
+        net.check()
+        assert "double_err" in net.outputs
+
+
+class TestRegistry:
+    def test_all_table1_build(self):
+        for name in TABLE1_CIRCUITS:
+            net = build_circuit(name)
+            net.check()
+            assert net.node_count() > 10, name
+
+    def test_parametric_names(self):
+        assert build_circuit("bshift8").name == "bshift8"
+        assert build_circuit("m3x3").node_count() > 5
+        assert build_circuit("add6").node_count() > 5
+        with pytest.raises(KeyError):
+            build_circuit("nonsense")
+
+    def test_expand_xors_preserves_function(self):
+        net = parity_tree(8)
+        ref = net.copy()
+        expand_xors(net)
+        # No xor covers remain.
+        from repro.sop.cube import lit
+        xor_cover = {frozenset({lit(0), lit(1, False)}),
+                     frozenset({lit(0, False), lit(1)})}
+        for node in net.nodes.values():
+            assert set(node.cover) != xor_cover
+        assert check_equivalence(ref, net).equivalent
+
+    def test_c1355_equals_c499_structure_differs(self):
+        c499 = build_circuit("C499")
+        c1355 = build_circuit("C1355")
+        assert c1355.node_count() > c499.node_count()
+
+    def test_interrupt_controller_priority(self):
+        net = interrupt_controller(4, "ictl")
+        base = {s: False for s in net.inputs}
+        # Channel request on bus A wins over B.
+        assignment = dict(base)
+        assignment.update({"a1": True, "e1": True, "b2": True, "e2": True})
+        vals = net.eval(assignment)
+        assert vals["PA"] is True
+        assert vals["PB"] is False
+
+    def test_deterministic_generation(self):
+        n1 = build_circuit("pair")
+        n2 = build_circuit("pair")
+        assert n1.node_count() == n2.node_count()
+        assert check_equivalence(n1, n2).equivalent

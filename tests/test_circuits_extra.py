@@ -1,0 +1,140 @@
+"""Tests for the additional circuit generators (extra.py)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bds import bds_optimize
+from repro.circuits.extra import (
+    carry_lookahead_adder,
+    decoder,
+    gray_converter,
+    priority_encoder,
+    rnd4_1,
+)
+from repro.circuits.registry import build_circuit
+from repro.verify import check_equivalence
+
+
+class TestCarryLookahead:
+    @pytest.mark.parametrize("bits,group", [(4, 2), (4, 4), (6, 3)])
+    def test_adds_correctly(self, bits, group):
+        net = carry_lookahead_adder(bits, group)
+        rng = random.Random(7)
+        for _ in range(50):
+            a, b = rng.randrange(1 << bits), rng.randrange(1 << bits)
+            assignment = {}
+            for i in range(bits):
+                assignment["a%d" % i] = bool(a >> i & 1)
+                assignment["b%d" % i] = bool(b >> i & 1)
+            vals = net.eval(assignment)
+            got = sum(int(vals["s%d" % i]) << i for i in range(bits))
+            got += int(vals["cout"]) << bits
+            assert got == a + b, (a, b)
+
+    def test_equivalent_to_ripple(self):
+        from repro.circuits import ripple_adder
+        cla = carry_lookahead_adder(4, 2)
+        ripple = ripple_adder(4)
+        # Same function despite different structure and output names.
+        for a, b in itertools.product(range(16), repeat=2):
+            assignment = {}
+            for i in range(4):
+                assignment["a%d" % i] = bool(a >> i & 1)
+                assignment["b%d" % i] = bool(b >> i & 1)
+            v1 = cla.eval(assignment)
+            v2 = ripple.eval(assignment)
+            got1 = sum(int(v1["s%d" % i]) << i for i in range(4))
+            got2 = sum(int(v2["fa%d_s" % i]) << i for i in range(4))
+            assert got1 == got2
+
+
+class TestDecoder:
+    def test_one_hot(self):
+        net = decoder(3)
+        for value in range(8):
+            assignment = {"en": True}
+            for i in range(3):
+                assignment["s%d" % i] = bool(value >> i & 1)
+            vals = net.eval(assignment)
+            for out in range(8):
+                assert vals["o%d" % out] == (out == value)
+
+    def test_enable(self):
+        net = decoder(2)
+        assignment = {"en": False, "s0": True, "s1": False}
+        assert not any(net.eval(assignment).values())
+
+
+class TestPriorityEncoder:
+    def test_highest_bit_wins(self):
+        net = priority_encoder(8)
+        rng = random.Random(11)
+        for _ in range(60):
+            word = rng.getrandbits(8)
+            assignment = {"r%d" % i: bool(word >> i & 1) for i in range(8)}
+            vals = net.eval(assignment)
+            if word == 0:
+                assert vals["valid"] is False
+            else:
+                expected = word.bit_length() - 1
+                got = sum(int(vals["idx%d" % b]) << b for b in range(3))
+                assert got == expected, bin(word)
+                assert vals["valid"] is True
+
+
+class TestGray:
+    def test_roundtrip_functions(self):
+        net = gray_converter(5)
+        for value in range(32):
+            assignment = {"x%d" % i: bool(value >> i & 1) for i in range(5)}
+            vals = net.eval(assignment)
+            gray = sum(int(vals["gray%d" % i]) << i for i in range(5))
+            assert gray == value ^ (value >> 1)
+            binary = sum(int(vals["bin%d" % i]) << i for i in range(5))
+            expected = value
+            # gray->binary of x (treated as gray): prefix xor from the top.
+            acc = 0
+            out = 0
+            for i in range(4, -1, -1):
+                acc ^= (value >> i) & 1
+                out |= acc << i
+            assert binary == out
+
+
+class TestRnd41:
+    def test_truth_table(self):
+        net = rnd4_1()
+        for bits in itertools.product([False, True], repeat=4):
+            x1, x2, x4, x5 = bits
+            g = (x1 == (not x4))
+            h = x2 and (x5 or (x1 and x4))
+            expected = g == h
+            assignment = {"x1": x1, "x2": x2, "x4": x4, "x5": x5}
+            assert net.eval(assignment)["F"] == expected
+
+    def test_bds_recovers_xnor_structure(self):
+        net = rnd4_1()
+        result = bds_optimize(net)
+        assert check_equivalence(net, result.network).equivalent
+        # The paper's Example 6 keeps the XNOR structure (the flat SOP of
+        # this function needs far more literals than the XNOR form).
+        stats = result.decomp_stats
+        assert stats.simple_xnor + stats.boolean_xnor >= 1
+        assert result.network.literal_count() <= 20
+
+
+class TestRegistryNames:
+    @pytest.mark.parametrize("name", ["cla8", "dec3", "prio8", "gray6",
+                                      "rnd4_1"])
+    def test_buildable(self, name):
+        net = build_circuit(name)
+        net.check()
+        assert net.node_count() >= 1
+
+    def test_flows_on_new_circuits(self):
+        for name in ("cla4", "dec3", "prio4"):
+            net = build_circuit(name)
+            result = bds_optimize(net)
+            assert check_equivalence(net, result.network).equivalent, name

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.network import parse_blif
+
+
+@pytest.fixture
+def blif_file(tmp_path):
+    path = tmp_path / "in.blif"
+    path.write_text("""
+.model t
+.inputs a b c
+.outputs y z
+.names a b t1
+11 1
+.names t1 c y
+10 1
+01 1
+.names a c z
+11 1
+.end
+""")
+    return str(path)
+
+
+class TestOptimize:
+    def test_bds_roundtrip(self, blif_file, tmp_path, capsys):
+        out = str(tmp_path / "out.blif")
+        rc = main(["optimize", blif_file, "-o", out, "--flow", "bds",
+                   "--verify"])
+        assert rc == 0
+        net = parse_blif(open(out).read())
+        assert set(net.outputs) == {"y", "z"}
+
+    def test_sis_flow(self, blif_file, tmp_path):
+        out = str(tmp_path / "out.blif")
+        assert main(["optimize", blif_file, "-o", out, "--flow", "sis"]) == 0
+        parse_blif(open(out).read())
+
+    def test_stdout_output(self, blif_file, capsys):
+        assert main(["optimize", blif_file]) == 0
+        captured = capsys.readouterr()
+        assert ".model" in captured.out
+
+    def test_map_option(self, blif_file, tmp_path, capsys):
+        out = str(tmp_path / "mapped.blif")
+        assert main(["optimize", blif_file, "-o", out, "--map",
+                     "--stats"]) == 0
+        parse_blif(open(out).read())
+
+    def test_lut_option(self, blif_file, tmp_path):
+        out = str(tmp_path / "luts.blif")
+        assert main(["optimize", blif_file, "-o", out, "--lut", "4"]) == 0
+        net = parse_blif(open(out).read())
+        for node in net.nodes.values():
+            assert len(node.fanins) <= 4
+
+    def test_balance_option(self, blif_file, tmp_path):
+        out = str(tmp_path / "bal.blif")
+        assert main(["optimize", blif_file, "-o", out, "--balance",
+                     "--verify"]) == 0
+
+
+class TestGenerateVerify:
+    def test_generate(self, tmp_path):
+        out = str(tmp_path / "gen.blif")
+        assert main(["generate", "add4", "-o", out]) == 0
+        net = parse_blif(open(out).read())
+        assert len(net.inputs) == 8
+
+    def test_verify_equivalent(self, tmp_path, capsys):
+        a = str(tmp_path / "a.blif")
+        b = str(tmp_path / "b.blif")
+        main(["generate", "parity8", "-o", a])
+        main(["optimize", a, "-o", b])
+        assert main(["verify", a, b]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_verify_inequivalent(self, tmp_path, capsys):
+        from repro.network import write_blif
+        from repro.sop.cube import lit
+
+        a = str(tmp_path / "a.blif")
+        b = str(tmp_path / "b.blif")
+        main(["generate", "add4", "-o", a])
+        net = parse_blif(open(a).read())
+        # Corrupt: turn the first sum node's XOR cover into XNOR.
+        node = net.nodes["fa0_s"]
+        node.cover = [frozenset({lit(0), lit(1)}),
+                      frozenset({lit(0, False), lit(1, False)})]
+        open(b, "w").write(write_blif(net))
+        assert main(["verify", a, b]) == 1
+        assert "NOT equivalent" in capsys.readouterr().out

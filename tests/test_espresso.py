@@ -1,0 +1,94 @@
+"""Tests for the REDUCE step and the full espresso iteration."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sop.cover import cover_eval, literal_count
+from repro.sop.cube import lit
+from repro.sop.minimize import espresso_minimize, reduce_cubes, simplify_cover
+
+
+def _truth(cover, nvars):
+    return tuple(
+        cover_eval(cover, dict(enumerate(bits)))
+        for bits in itertools.product([False, True], repeat=nvars)
+    )
+
+
+def _random_cover(rng, nvars=4, ncubes=6):
+    cover = []
+    for _ in range(ncubes):
+        cube = []
+        for v in range(nvars):
+            r = rng.random()
+            if r < 0.3:
+                cube.append(lit(v, True))
+            elif r < 0.6:
+                cube.append(lit(v, False))
+        cover.append(frozenset(cube))
+    return cover
+
+
+class TestReduce:
+    def test_preserves_function(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            cover = _random_cover(rng)
+            reduced = reduce_cubes(cover)
+            assert _truth(reduced, 4) == _truth(cover, 4)
+
+    def test_reduces_overlapping_cube(self):
+        # f = a + ab... the cube 'ab' has no essential part of its own...
+        # classic example: f = a b' + b (cube a b' is essential on a b'=1).
+        # With f = a + a'b, the cube a can shrink? a's essential part is
+        # a b' (a b is covered by nothing else)... use f = ab + b:
+        # cube ab is fully covered by b -> untouched (irredundant's job);
+        # use f = a + ab: second cube's minterms all covered by 'a'.
+        cover = [frozenset({lit(0)}),
+                 frozenset({lit(0), lit(1)})]
+        reduced = reduce_cubes(cover)
+        assert _truth(reduced, 2) == _truth(cover, 2)
+
+    def test_reduce_enables_better_expand(self):
+        # The textbook espresso case where one pass gets stuck:
+        # f covered by overlapping primes; reduce frees a cube, the next
+        # expand merges differently. At minimum, espresso never does worse
+        # than the single pass.
+        rng = random.Random(9)
+        for _ in range(25):
+            cover = _random_cover(rng, nvars=5, ncubes=8)
+            single = simplify_cover(cover)
+            full = espresso_minimize(cover)
+            assert _truth(full, 5) == _truth(cover, 5)
+            assert literal_count(full) <= literal_count(single)
+
+    def test_respects_dc(self):
+        rng = random.Random(13)
+        for _ in range(20):
+            onset = _random_cover(rng, ncubes=4)
+            dc = _random_cover(rng, ncubes=2)
+            out = espresso_minimize(onset, dc)
+            t_on, t_dc, t_out = _truth(onset, 4), _truth(dc, 4), _truth(out, 4)
+            for got, on, d in zip(t_out, t_on, t_dc):
+                if not d:
+                    assert got == on
+
+
+class TestEspresso:
+    def test_constants(self):
+        assert espresso_minimize([]) == []
+        assert espresso_minimize([frozenset()]) == [frozenset()]
+
+    def test_classic_minimization(self):
+        # f = a'b'c' + a'b'c + a'bc + abc + ab'c  (5 minterms over 3 vars)
+        # minimal SOP: a'b' + c  ->  4 literals... verify <= 5.
+        def mt(a, b, c):
+            return frozenset({lit(0, a), lit(1, b), lit(2, c)})
+        cover = [mt(False, False, False), mt(False, False, True),
+                 mt(False, True, True), mt(True, True, True),
+                 mt(True, False, True)]
+        out = espresso_minimize(cover)
+        assert _truth(out, 3) == _truth(cover, 3)
+        assert literal_count(out) <= 4

@@ -1,0 +1,126 @@
+"""Tests for classical Ashenhurst-Curtis functional decomposition."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD, ONE, ZERO
+from repro.bdd.traverse import evaluate, support
+from repro.decomp.functional import (
+    best_bound_level,
+    column_multiplicity,
+    functional_decompose,
+    is_simple_disjoint_decomposable,
+)
+
+
+@pytest.fixture
+def mgr():
+    return BDD()
+
+
+def _fig1_function(mgr):
+    """Fig. 1's shape: F = G(x1,x2) ? x3-ish : other -- a function whose
+    chart under bound set {x1,x2} has column multiplicity 2."""
+    x1, x2, x3 = (mgr.new_var(n) for n in ("x1", "x2", "x3"))
+    g = mgr.xor_(mgr.var_ref(x1), mgr.var_ref(x2))
+    f = mgr.ite(g, mgr.var_ref(x3), mgr.var_ref(x3) ^ 1)
+    return f, (x1, x2, x3)
+
+
+class TestColumnMultiplicity:
+    def test_fig1_has_two_columns(self, mgr):
+        f, (x1, x2, x3) = _fig1_function(mgr)
+        level = mgr.level_of_var(x3)
+        assert column_multiplicity(mgr, f, level) == 2
+        assert is_simple_disjoint_decomposable(mgr, f, level)
+
+    def test_non_decomposable_function(self, mgr):
+        # A 2-out-of-3 majority has multiplicity 3 under a 2-var bound set.
+        a, b, c = (mgr.new_var(n) for n in "abc")
+        maj = mgr.or_many([
+            mgr.and_(mgr.var_ref(a), mgr.var_ref(b)),
+            mgr.and_(mgr.var_ref(a), mgr.var_ref(c)),
+            mgr.and_(mgr.var_ref(b), mgr.var_ref(c)),
+        ])
+        level = mgr.level_of_var(c)
+        assert column_multiplicity(mgr, maj, level) == 3
+        assert not is_simple_disjoint_decomposable(mgr, maj, level)
+
+
+class TestFunctionalDecompose:
+    def test_fig1_single_code_bit(self, mgr):
+        f, (x1, x2, x3) = _fig1_function(mgr)
+        d = functional_decompose(mgr, f, mgr.level_of_var(x3))
+        assert d is not None
+        assert d.columns == 2
+        assert d.k == 1
+        # G is the xor (or its complement).
+        g = d.g_functions[0]
+        expected = mgr.xor_(mgr.var_ref(x1), mgr.var_ref(x2))
+        assert g in (expected, expected ^ 1)
+        # H depends only on the code variable and x3.
+        assert support(mgr, d.h) <= {d.code_vars[0], x3}
+
+    def test_identity_random(self, mgr):
+        rng = random.Random(31)
+        vs = [mgr.new_var() for _ in range(6)]
+        refs = [mgr.var_ref(v) for v in vs]
+        for _ in range(10):
+            for _ in range(25):
+                a, b = rng.choice(refs), rng.choice(refs)
+                refs.append(getattr(mgr, rng.choice(["and_", "or_", "xor_"]))(a, b))
+            f = refs[-1]
+            if mgr.is_const(f):
+                continue
+            level = 3
+            d = functional_decompose(mgr, f, level)
+            if d is None:
+                continue
+            # The assert inside functional_decompose already verified the
+            # identity; double-check via explicit evaluation.
+            recomposed = mgr.vector_compose(
+                d.h, dict(zip(d.code_vars, d.g_functions)))
+            assert recomposed == f
+
+    def test_constant_and_shallow_return_none(self, mgr):
+        a = mgr.new_var("a")
+        assert functional_decompose(mgr, ONE, 1) is None
+        assert functional_decompose(mgr, mgr.var_ref(a), 0) is None
+
+    def test_multi_bit_encoding(self, mgr):
+        # Majority of 3 with bound {a,b}: 3 columns -> 2 code bits.
+        a, b, c = (mgr.new_var(n) for n in "abc")
+        maj = mgr.or_many([
+            mgr.and_(mgr.var_ref(a), mgr.var_ref(b)),
+            mgr.and_(mgr.var_ref(a), mgr.var_ref(c)),
+            mgr.and_(mgr.var_ref(b), mgr.var_ref(c)),
+        ])
+        d = functional_decompose(mgr, maj, mgr.level_of_var(c))
+        assert d is not None
+        assert d.columns == 3
+        assert d.k == 2
+
+
+class TestBestBoundLevel:
+    def test_finds_low_multiplicity_cut(self, mgr):
+        f, (x1, x2, x3) = _fig1_function(mgr)
+        found = best_bound_level(mgr, f)
+        assert found is not None
+        level, m = found
+        assert m == 2
+
+    def test_constant_none(self, mgr):
+        assert best_bound_level(mgr, ZERO) is None
+
+    def test_respects_code_budget(self, mgr):
+        vs = [mgr.new_var() for _ in range(6)]
+        # A function with high multiplicity everywhere: addition-like.
+        f = ZERO
+        for i in range(0, 6, 2):
+            f = mgr.xor_(f, mgr.and_(mgr.var_ref(vs[i]), mgr.var_ref(vs[i + 1])))
+        found = best_bound_level(mgr, f, max_code_bits=1)
+        if found is not None:
+            _, m = found
+            assert m <= 2

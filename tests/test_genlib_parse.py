@@ -1,0 +1,108 @@
+"""Tests for the genlib text parser."""
+
+import itertools
+
+import pytest
+
+from repro.mapping import map_network
+from repro.mapping.genlib_parse import _Parser, parse_genlib
+from repro.network import Network
+from repro.sop.cover import cover_eval
+from repro.verify import check_equivalence
+
+SAMPLE = """
+# a tiny mcnc-flavoured library
+GATE inv1   1.0  O = !a;            PIN * INV 1 999 1.0 0.2 1.0 0.2
+GATE nand2  2.0  O = !(a * b);      PIN * INV 1 999 1.2 0.2 1.2 0.2
+GATE nor2   2.0  O = !(a + b);      PIN * INV 1 999 1.4 0.2 1.4 0.2
+GATE and2   3.0  O = a * b;         PIN * NONINV 1 999 1.5 0.2 1.5 0.2
+GATE or2    3.0  O = a + b;         PIN * NONINV 1 999 1.7 0.2 1.7 0.2
+GATE aoi21  3.0  O = !(a * b + c);  PIN * INV 1 999 1.6 0.3 1.6 0.3
+GATE xor2   5.0  O = a * !b + !a * b; PIN * UNKNOWN 2 999 2.0 0 2.0 0
+"""
+
+
+class TestExpressionParser:
+    def _eval(self, text, env):
+        from repro.mapping.genlib_parse import _expr_eval
+        return _expr_eval(_Parser(text).parse(), env)
+
+    def test_precedence(self):
+        # AND binds tighter than OR.
+        env = {"a": True, "b": False, "c": True}
+        assert self._eval("a * b + c", env) is True
+        assert self._eval("a * (b + c)", env) is True
+        assert self._eval("a * b", env) is False
+
+    def test_negation_forms(self):
+        env = {"a": False}
+        assert self._eval("!a", env) is True
+        assert self._eval("a'", env) is True
+        assert self._eval("!(a)", env) is True
+
+    def test_juxtaposition_and(self):
+        env = {"a": True, "b": True}
+        assert self._eval("a b", env) is True
+        env["b"] = False
+        assert self._eval("a b", env) is False
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ValueError):
+            _Parser("a + ) b").parse()
+
+
+class TestParseGenlib:
+    def test_cells_present(self):
+        lib = parse_genlib(SAMPLE)
+        names = {c.name for c in lib}
+        assert {"inv1", "nand2", "nor2", "and2", "or2", "aoi21", "xor2"} <= names
+        assert lib.inverter.name == "inv1"
+
+    def test_covers_match_expressions(self):
+        lib = parse_genlib(SAMPLE)
+        expected = {
+            "inv1": lambda a: not a,
+            "nand2": lambda a, b: not (a and b),
+            "nor2": lambda a, b: not (a or b),
+            "and2": lambda a, b: a and b,
+            "or2": lambda a, b: a or b,
+            "aoi21": lambda a, b, c: not ((a and b) or c),
+            "xor2": lambda a, b: a != b,
+        }
+        for name, fn in expected.items():
+            cell = lib.by_name(name)
+            n = len(cell.inputs)
+            for bits in itertools.product([False, True], repeat=n):
+                got = cover_eval(cell.cover, dict(enumerate(bits)))
+                assert got == fn(*bits), (name, bits)
+
+    def test_areas_and_delays(self):
+        lib = parse_genlib(SAMPLE)
+        assert lib.by_name("xor2").area == 5.0
+        assert lib.by_name("nand2").delay == pytest.approx(1.2)
+
+    def test_missing_inverter_rejected(self):
+        with pytest.raises(ValueError):
+            parse_genlib("GATE and2 3.0 O = a * b; PIN * NONINV 1 999 1 0 1 0")
+
+    def test_inverter_aliased(self):
+        lib = parse_genlib(
+            "GATE my_not 1.5 O = !a; PIN * INV 1 999 1.1 0 1.1 0")
+        assert lib.inverter.name == "inv1"
+        assert lib.inverter.area == 1.5
+
+    def test_mapping_with_parsed_library(self):
+        lib = parse_genlib(SAMPLE)
+        net = Network("t")
+        for n in "abc":
+            net.add_input(n)
+        net.add_output("y")
+        net.add_xor("t1", ["a", "b"])
+        net.add_or("y", ["t1", "c"])
+        result = map_network(net, lib)
+        assert check_equivalence(net, result.network).equivalent
+        assert result.cell_histogram.get("xor2", 0) >= 1
+
+    def test_comments_stripped(self):
+        lib = parse_genlib("# nothing\n" + SAMPLE + "\n# trailing")
+        assert lib.by_name("or2").area == 3.0

@@ -1,0 +1,123 @@
+"""Tests for sharing extraction across factoring trees and netlist lowering."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD
+from repro.decomp import extract_sharing, trees_to_network
+from repro.decomp.ftree import FTree, mux, negate, op2, var_leaf
+from repro.decomp.sharing import count_shared_gates
+
+
+def v(name):
+    return var_leaf(name)
+
+
+class TestExtractSharing:
+    def test_identical_subtrees_shared(self):
+        # Two trees both containing (a & b).
+        ab1 = op2("and", v("a"), v("b"))
+        ab2 = op2("and", v("b"), v("a"))  # commuted: same function
+        t1 = op2("or", ab1, v("c"))
+        t2 = op2("xor", ab2, v("d"))
+        shared = extract_sharing({"f": t1, "g": t2})
+        sub_f = [t for t in shared["f"].iter_nodes() if t.op == "and"]
+        sub_g = [t for t in shared["g"].iter_nodes() if t.op == "and"]
+        assert sub_f and sub_g
+        assert sub_f[0] is sub_g[0], "commuted AND must become one object"
+
+    def test_complement_shared_through_inverter(self):
+        # f uses (a+b), g uses ~(a+b): one gate + one inverter after sharing.
+        ab = op2("or", v("a"), v("b"))
+        nab = op2("and", negate(v("a")), negate(v("b")))  # De Morgan complement
+        t1 = op2("and", ab, v("c"))
+        t2 = op2("and", nab, v("c"))
+        before = count_shared_gates({"f": t1, "g": t2})
+        shared = extract_sharing({"f": t1, "g": t2})
+        after = count_shared_gates(shared)
+        assert after <= before
+        # Semantics preserved.
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            assert shared["f"].evaluate(env) == t1.evaluate(env)
+            assert shared["g"].evaluate(env) == t2.evaluate(env)
+
+    def test_semantics_preserved(self):
+        t1 = mux(v("s"), op2("xor", v("a"), v("b")), op2("and", v("a"), v("b")))
+        t2 = op2("xnor", op2("xor", v("a"), v("b")), v("s"))
+        shared = extract_sharing({"x": t1, "y": t2})
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip(("s", "a", "b"), bits))
+            assert shared["x"].evaluate(env) == t1.evaluate(env)
+            assert shared["y"].evaluate(env) == t2.evaluate(env)
+
+    def test_fig14_style_two_output_sharing(self):
+        # Fig. 14: two outputs decomposed independently end up sharing
+        # logic.  f = (a xor b) & c, g = MUX(a xor b; c, d): the (a xor b)
+        # subtree must be extracted once.
+        xab1 = op2("xor", v("a"), v("b"))
+        xab2 = op2("xor", v("b"), v("a"))
+        f = op2("and", xab1, v("c"))
+        g = mux(xab2, v("c"), v("d"))
+        shared = extract_sharing({"f": f, "g": g})
+        xors = set()
+        for tree in shared.values():
+            for t in tree.iter_nodes():
+                if t.op in ("xor", "xnor"):
+                    xors.add(id(t))
+        assert len(xors) == 1
+
+
+class TestTreesToNetwork:
+    def test_basic_lowering(self):
+        t = op2("or", op2("and", v("a"), v("b")), negate(v("c")))
+        net = trees_to_network({"y": t}, inputs=["a", "b", "c"], outputs=["y"])
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            assert net.eval(env)["y"] == t.evaluate(env)
+
+    def test_shared_gates_emitted_once(self):
+        ab = op2("and", v("a"), v("b"))
+        t1 = op2("or", ab, v("c"))
+        t2 = op2("xor", ab, v("c"))
+        shared = extract_sharing({"f": t1, "g": t2})
+        net = trees_to_network(shared, inputs=["a", "b", "c"],
+                               outputs=["f", "g"])
+        and_nodes = [n for n in net.nodes.values()
+                     if len(n.fanins) == 2 and len(n.cover) == 1
+                     and len(next(iter(n.cover))) == 2]
+        assert len(and_nodes) == 1
+
+    def test_tree_chaining(self):
+        # Tree g references tree f by name.
+        f = op2("and", v("a"), v("b"))
+        g = op2("or", v("f"), v("c"))
+        net = trees_to_network({"f": f, "g": g}, inputs=["a", "b", "c"],
+                               outputs=["g"])
+        for bits in itertools.product([False, True], repeat=3):
+            env = dict(zip("abc", bits))
+            expected = (env["a"] and env["b"]) or env["c"]
+            assert net.eval(env)["g"] == expected
+
+    def test_mux_and_constants(self):
+        t = mux(v("s"), v("a"), v("b"))
+        c = FTree("const1")
+        net = trees_to_network({"y": t, "k": c}, inputs=["s", "a", "b"],
+                               outputs=["y", "k"])
+        assert net.eval({"s": True, "a": False, "b": True})["y"] is False
+        assert net.eval({"s": False, "a": False, "b": True})["k"] is True
+
+    def test_output_that_is_leaf(self):
+        t = v("a")
+        net = trees_to_network({"y": t}, inputs=["a"], outputs=["y"])
+        assert net.eval({"a": True})["y"] is True
+        assert net.eval({"a": False})["y"] is False
+
+    def test_identical_outputs_buffered(self):
+        ab = op2("and", v("a"), v("b"))
+        shared = extract_sharing({"y1": ab, "y2": op2("and", v("b"), v("a"))})
+        net = trees_to_network(shared, inputs=["a", "b"], outputs=["y1", "y2"])
+        out = net.eval({"a": True, "b": True})
+        assert out["y1"] and out["y2"]
+        net.check()

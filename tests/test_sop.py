@@ -1,0 +1,224 @@
+"""Tests for the cube/cover algebra and two-level minimization."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sop import (
+    complement,
+    cover_and,
+    cover_cofactor,
+    cover_contains_cube,
+    cover_eval,
+    cover_or,
+    cover_support,
+    cube_and,
+    cube_contains,
+    cube_from_pairs,
+    expand,
+    irredundant,
+    is_tautology,
+    lit,
+    lit_negate,
+    lit_positive,
+    lit_var,
+    literal_count,
+    remove_contained,
+    simplify_cover,
+)
+from repro.sop.cover import cover_equal
+from repro.sop.cube import cube_distance, cube_eval
+
+
+def _random_cover(rng, nvars=4, ncubes=5):
+    cover = []
+    for _ in range(ncubes):
+        cube = []
+        for v in range(nvars):
+            r = rng.random()
+            if r < 0.3:
+                cube.append(lit(v, True))
+            elif r < 0.6:
+                cube.append(lit(v, False))
+        cover.append(frozenset(cube))
+    return cover
+
+
+def _truth(cover, nvars):
+    return tuple(
+        cover_eval(cover, dict(enumerate(bits)))
+        for bits in itertools.product([False, True], repeat=nvars)
+    )
+
+
+class TestLiterals:
+    def test_encoding(self):
+        assert lit(3, True) == 6
+        assert lit(3, False) == 7
+        assert lit_var(7) == 3
+        assert lit_positive(6)
+        assert not lit_positive(7)
+        assert lit_negate(6) == 7
+
+    def test_cube_from_pairs(self):
+        cube = cube_from_pairs([(0, True), (2, False)])
+        assert cube == frozenset({lit(0), lit(2, False)})
+
+
+class TestCubeOps:
+    def test_cube_and(self):
+        a = frozenset({lit(0)})
+        b = frozenset({lit(1, False)})
+        assert cube_and(a, b) == frozenset({lit(0), lit(1, False)})
+
+    def test_cube_and_contradiction(self):
+        a = frozenset({lit(0)})
+        b = frozenset({lit(0, False)})
+        assert cube_and(a, b) is None
+
+    def test_containment(self):
+        big = frozenset({lit(0)})
+        small = frozenset({lit(0), lit(1)})
+        assert cube_contains(big, small)
+        assert not cube_contains(small, big)
+        assert cube_contains(frozenset(), big)
+
+    def test_distance(self):
+        a = frozenset({lit(0), lit(1, False)})
+        b = frozenset({lit(0, False), lit(1)})
+        assert cube_distance(a, b) == 2
+
+    def test_eval(self):
+        cube = frozenset({lit(0), lit(1, False)})
+        assert cube_eval(cube, {0: True, 1: False})
+        assert not cube_eval(cube, {0: True, 1: True})
+
+
+class TestTautology:
+    def test_tautology_cube(self):
+        assert is_tautology([frozenset()])
+
+    def test_empty_cover(self):
+        assert not is_tautology([])
+
+    def test_var_plus_complement(self):
+        assert is_tautology([frozenset({lit(0)}), frozenset({lit(0, False)})])
+
+    def test_near_tautology(self):
+        # a + ~a b  is a tautology only with b's complement too.
+        cover = [frozenset({lit(0)}), frozenset({lit(0, False), lit(1)})]
+        assert not is_tautology(cover)
+        cover.append(frozenset({lit(1, False)}))
+        assert is_tautology(cover)
+
+    def test_random_against_enumeration(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            cover = _random_cover(rng)
+            expected = all(_truth(cover, 4))
+            assert is_tautology(cover) == expected
+
+
+class TestComplement:
+    def test_roundtrip(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            cover = _random_cover(rng)
+            comp = complement(cover)
+            t = _truth(cover, 4)
+            tc = _truth(comp, 4)
+            assert all(a != b for a, b in zip(t, tc))
+
+    def test_empty_and_tautology(self):
+        assert complement([]) == [frozenset()]
+        assert complement([frozenset()]) == []
+
+    def test_single_cube_demorgan(self):
+        cube = frozenset({lit(0), lit(1, False)})
+        comp = complement([cube])
+        assert sorted(map(sorted, comp)) == sorted(
+            map(sorted, [[lit(0, False)], [lit(1, True)]]))
+
+
+class TestCoverOps:
+    def test_or_and_against_enumeration(self):
+        rng = random.Random(11)
+        for _ in range(25):
+            a = _random_cover(rng, ncubes=3)
+            b = _random_cover(rng, ncubes=3)
+            to = _truth(cover_or(a, b), 4)
+            ta = _truth(cover_and(a, b), 4)
+            ea = _truth(a, 4)
+            eb = _truth(b, 4)
+            assert to == tuple(x or y for x, y in zip(ea, eb))
+            assert ta == tuple(x and y for x, y in zip(ea, eb))
+
+    def test_cofactor(self):
+        # f = a b + ~a c;  f|a = b.
+        cover = [frozenset({lit(0), lit(1)}), frozenset({lit(0, False), lit(2)})]
+        cof = cover_cofactor(cover, lit(0, True))
+        assert cof == [frozenset({lit(1)})]
+
+    def test_contains_cube(self):
+        cover = [frozenset({lit(0)}), frozenset({lit(1)})]
+        assert cover_contains_cube(cover, frozenset({lit(0), lit(1)}))
+        assert not cover_contains_cube(cover, frozenset({lit(0, False), lit(1, False)}))
+
+    def test_remove_contained(self):
+        big = frozenset({lit(0)})
+        small = frozenset({lit(0), lit(1)})
+        assert remove_contained([small, big]) == [big]
+
+    def test_support_and_literal_count(self):
+        cover = [frozenset({lit(0), lit(3, False)})]
+        assert cover_support(cover) == {0, 3}
+        assert literal_count(cover) == 2
+
+    def test_cover_equal(self):
+        a = [frozenset({lit(0)}), frozenset({lit(0, False), lit(1)})]
+        b = [frozenset({lit(0)}), frozenset({lit(1)})]
+        assert cover_equal(a, b)
+
+
+class TestMinimize:
+    def test_simplify_preserves_function(self):
+        rng = random.Random(13)
+        for _ in range(30):
+            cover = _random_cover(rng, nvars=4, ncubes=6)
+            simplified = simplify_cover(cover)
+            assert _truth(simplified, 4) == _truth(cover, 4)
+            assert literal_count(simplified) <= literal_count(cover)
+
+    def test_simplify_classic(self):
+        # a b + a ~b  ->  a.
+        cover = [frozenset({lit(0), lit(1)}), frozenset({lit(0), lit(1, False)})]
+        simplified = simplify_cover(cover)
+        assert simplified == [frozenset({lit(0)})]
+
+    def test_irredundant(self):
+        # a + b + a b: last cube redundant.
+        cover = [frozenset({lit(0)}), frozenset({lit(1)}),
+                 frozenset({lit(0), lit(1)})]
+        assert len(irredundant(cover)) == 2
+
+    def test_irredundant_with_dc(self):
+        # f = a b, dc = a ~b  =>  a b is contained in (dc + nothing)?  No --
+        # but cube a is fine when dc covers a ~b.
+        onset = [frozenset({lit(0), lit(1)})]
+        dc = [frozenset({lit(0), lit(1, False)})]
+        expanded = expand(onset, complement(onset + dc))
+        assert expanded == [frozenset({lit(0)})]
+
+    def test_simplify_with_dc(self):
+        rng = random.Random(17)
+        for _ in range(20):
+            onset = _random_cover(rng, ncubes=4)
+            dc = _random_cover(rng, ncubes=2)
+            simplified = simplify_cover(onset, dc)
+            t_on = _truth(onset, 4)
+            t_dc = _truth(dc, 4)
+            t_simplified = _truth(simplified, 4)
+            for got, on, d in zip(t_simplified, t_on, t_dc):
+                if not d:
+                    assert got == on

@@ -1,0 +1,305 @@
+"""Tests for sweep and eliminate (both cube- and BDD-domain variants)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.network import Network, eliminate_bdd, eliminate_literal, sweep
+from repro.network.eliminate import PartitionedNetwork, collapse_node_into
+from repro.network.sweep import substitute_fanin
+from repro.sop.cube import lit
+
+
+def _equivalent(a: Network, b: Network, seed=1, rounds=64) -> bool:
+    rng = random.Random(seed)
+    assert set(a.inputs) == set(b.inputs)
+    assert list(a.outputs) == list(b.outputs)
+    for _ in range(rounds):
+        assignment = {i: rng.random() < 0.5 for i in a.inputs}
+        if a.eval(assignment) != b.eval(assignment):
+            return False
+    return True
+
+
+def _exhaustive_equivalent(a: Network, b: Network) -> bool:
+    for bits in itertools.product([False, True], repeat=len(a.inputs)):
+        assignment = dict(zip(a.inputs, bits))
+        if a.eval(assignment) != b.eval(assignment):
+            return False
+    return True
+
+
+def small_circuit() -> Network:
+    net = Network("c")
+    for n in "abcd":
+        net.add_input(n)
+    net.add_output("y")
+    net.add_output("z")
+    net.add_and("p", ["a", "b"])
+    net.add_and("q", ["a", "b"])       # structural duplicate of p
+    net.add_buf("pb", "p")             # buffer
+    net.add_not("pn", "p")             # inverter
+    net.add_or("y", ["pb", "c"])
+    net.add_and("z", ["pn", "q", "d"])
+    return net
+
+
+class TestSweep:
+    def test_preserves_function(self):
+        net = small_circuit()
+        ref = net.copy()
+        sweep(net)
+        assert _exhaustive_equivalent(ref, net)
+
+    def test_removes_buffers_and_duplicates(self):
+        net = small_circuit()
+        sweep(net)
+        assert "pb" not in net.nodes
+        # p and q merged into one.
+        assert not ("p" in net.nodes and "q" in net.nodes)
+
+    def test_constant_propagation(self):
+        net = Network()
+        net.add_input("a")
+        net.add_output("y")
+        net.add_const("one", True)
+        net.add_and("y", ["a", "one"])
+        sweep(net)
+        assert _exhaustive_equivalent_single(net, lambda a: a)
+        assert "one" not in net.nodes
+
+    def test_constant_zero_and(self):
+        net = Network()
+        net.add_input("a")
+        net.add_output("y")
+        net.add_const("zero", False)
+        net.add_and("y", ["a", "zero"])
+        sweep(net)
+        assert net.eval({"a": True})["y"] is False
+        assert net.eval({"a": False})["y"] is False
+
+    def test_functional_merge(self):
+        # Two structurally different but equivalent nodes: a&b vs ~(~a|~b).
+        net = Network()
+        for n in "ab":
+            net.add_input(n)
+        net.add_output("y")
+        net.add_and("u", ["a", "b"])
+        net.add_node("v", ["a", "b"],
+                     [frozenset({lit(0), lit(1)})])
+        # Build v differently: ~( ~a + ~b ) as a two-node chain.
+        net.add_node("w1", ["a", "b"],
+                     [frozenset({lit(0, False)}), frozenset({lit(1, False)})])
+        net.add_not("w", "w1")
+        net.add_node("y", ["u", "v", "w"],
+                     [frozenset({lit(0), lit(1), lit(2)})])
+        ref = net.copy()
+        sweep(net)
+        assert _exhaustive_equivalent(ref, net)
+        # u, v, w all compute a&b; only one should survive feeding y.
+        survivors = [n for n in ("u", "v", "w", "w1") if n in net.nodes]
+        assert len(survivors) <= 1
+
+    def test_output_names_preserved(self):
+        net = small_circuit()
+        sweep(net)
+        assert net.outputs == ["y", "z"]
+        net.check()
+
+    def test_inverter_chain(self):
+        net = Network()
+        net.add_input("a")
+        net.add_output("y")
+        net.add_not("i1", "a")
+        net.add_not("i2", "i1")
+        net.add_not("i3", "i2")
+        net.add_buf("y", "i3")
+        ref = net.copy()
+        sweep(net)
+        assert _exhaustive_equivalent(ref, net)
+        assert net.node_count() <= 1
+
+
+def _exhaustive_equivalent_single(net, fn):
+    for bits in itertools.product([False, True], repeat=len(net.inputs)):
+        assignment = dict(zip(net.inputs, bits))
+        if net.eval(assignment)[net.outputs[0]] != fn(*bits):
+            return False
+    return True
+
+
+class TestSubstituteFanin:
+    def test_rename(self):
+        node = NetworkNodeHelper()
+        n = node.make(["x", "y"], [frozenset({lit(0), lit(1, False)})])
+        substitute_fanin(n, 0, "z", False)
+        assert n.fanins == ["z", "y"]
+
+    def test_invert(self):
+        n = NetworkNodeHelper().make(["x"], [frozenset({lit(0)})])
+        substitute_fanin(n, 0, "x", True)
+        assert n.cover == [frozenset({lit(0, False)})]
+
+    def test_merge_duplicate_fanin(self):
+        # f = x & y; substitute y -> x gives f = x.
+        n = NetworkNodeHelper().make(["x", "y"], [frozenset({lit(0), lit(1)})])
+        substitute_fanin(n, 1, "x", False)
+        assert n.fanins == ["x"]
+        assert n.cover == [frozenset({lit(0)})]
+
+    def test_contradiction_drops_cube(self):
+        # f = x & y; substitute y -> ~x gives empty cover.
+        n = NetworkNodeHelper().make(["x", "y"], [frozenset({lit(0), lit(1)})])
+        substitute_fanin(n, 1, "x", True)
+        assert n.cover == []
+
+
+class NetworkNodeHelper:
+    def make(self, fanins, cover):
+        from repro.network.network import Node
+        return Node("t", fanins, cover)
+
+
+class TestEliminateLiteral:
+    def test_preserves_function(self):
+        net = small_circuit()
+        ref = net.copy()
+        eliminate_literal(net, threshold=5)
+        assert _exhaustive_equivalent(ref, net)
+
+    def test_collapses_single_use_nodes(self):
+        net = Network()
+        for n in "abc":
+            net.add_input(n)
+        net.add_output("y")
+        net.add_and("t", ["a", "b"])
+        net.add_or("y", ["t", "c"])
+        eliminate_literal(net, threshold=0)
+        assert "t" not in net.nodes
+        assert _exhaustive_equivalent_single(net, lambda a, b, c: (a and b) or c)
+
+    def test_threshold_respected(self):
+        # A multi-literal node used by two output nodes has positive value
+        # ((2-1)*(6-1)-1 = 4) and must survive threshold 0.
+        net = Network()
+        for n in "abcd":
+            net.add_input(n)
+        net.add_output("y1")
+        net.add_output("y2")
+        net.add_node("big", ["a", "b", "c"],
+                     [frozenset({lit(0), lit(1)}), frozenset({lit(1), lit(2)}),
+                      frozenset({lit(0), lit(2)})])
+        net.add_and("y1", ["big", "d"])
+        net.add_or("y2", ["big", "d"])
+        ref = net.copy()
+        eliminate_literal(net, threshold=0)
+        assert "big" in net.nodes
+        assert _exhaustive_equivalent(ref, net)
+        # With a generous threshold it does collapse.
+        eliminate_literal(net, threshold=10)
+        assert "big" not in net.nodes
+        assert _exhaustive_equivalent(ref, net)
+
+    def test_collapse_node_into_negative_literal(self):
+        from repro.network.network import Node
+        consumer = Node("c", ["n", "x"], [frozenset({lit(0, False), lit(1)})])
+        node = Node("n", ["a", "b"], [frozenset({lit(0), lit(1)})])
+        assert collapse_node_into(consumer, node)
+        # c = ~(a&b) & x = (~a + ~b) x.
+        assert "n" not in consumer.fanins
+        vals = {}
+        for a, b, x in itertools.product([False, True], repeat=3):
+            pos = {s: i for i, s in enumerate(consumer.fanins)}
+            assignment = {}
+            for s, v in (("a", a), ("b", b), ("x", x)):
+                if s in pos:
+                    assignment[pos[s]] = v
+            got = consumer.eval([assignment[i] for i in range(len(consumer.fanins))])
+            assert got == ((not (a and b)) and x)
+
+
+class TestEliminateBdd:
+    def test_roundtrip_no_eliminate(self):
+        net = small_circuit()
+        sweep(net)
+        part = PartitionedNetwork.from_network(net)
+        back = part.to_network()
+        assert _exhaustive_equivalent(net, back)
+
+    def test_eliminate_preserves_function(self):
+        net = small_circuit()
+        ref = net.copy()
+        sweep(net)
+        part = eliminate_bdd(net, threshold=0, size_cap=100)
+        back = part.to_network()
+        assert _exhaustive_equivalent(ref, back)
+
+    def test_eliminate_collapses(self):
+        net = Network()
+        for n in "abcd":
+            net.add_input(n)
+        net.add_output("y")
+        net.add_and("t1", ["a", "b"])
+        net.add_and("t2", ["c", "d"])
+        net.add_or("y", ["t1", "t2"])
+        part = eliminate_bdd(net, threshold=0, size_cap=100)
+        # Everything should collapse into the single output supernode.
+        assert set(part.refs) == {"y"}
+
+    def test_size_cap_prevents_collapse(self):
+        # XOR chain: collapsing all into one is fine for BDDs, so use a
+        # tiny cap to force survival of intermediates.
+        net = Network()
+        names = ["x%d" % i for i in range(8)]
+        for n in names:
+            net.add_input(n)
+        net.add_output("y")
+        prev = names[0]
+        for i, n in enumerate(names[1:], 1):
+            cur = "t%d" % i if i < 7 else "y"
+            net.add_xor(cur, [prev, n])
+            prev = cur
+        part = eliminate_bdd(net, threshold=0, size_cap=3)
+        assert len(part.refs) > 1
+
+    def test_mapping_compacts_variables(self):
+        net = Network()
+        for n in "abcdef":
+            net.add_input(n)
+        net.add_output("y")
+        net.add_and("t1", ["a", "b"])
+        net.add_and("t2", ["t1", "c"])
+        net.add_and("t3", ["t2", "d"])
+        net.add_and("t4", ["t3", "e"])
+        net.add_and("y", ["t4", "f"])
+        part = eliminate_bdd(net, threshold=0, size_cap=1000, use_mapping=True)
+        assert part.mapping_count >= 1
+        # After full collapse only PI variables remain.
+        assert part.mgr.num_vars <= len(net.inputs) + len(part.refs)
+
+    def test_word_level_equivalence_random(self):
+        rng = random.Random(99)
+        net = _random_network(rng, n_inputs=6, n_nodes=15)
+        ref = net.copy()
+        part = eliminate_bdd(net, threshold=2, size_cap=50)
+        back = part.to_network()
+        assert _exhaustive_equivalent(ref, back)
+
+
+def _random_network(rng, n_inputs=6, n_nodes=12):
+    net = Network("rand")
+    signals = []
+    for i in range(n_inputs):
+        signals.append(net.add_input("i%d" % i))
+    for j in range(n_nodes):
+        k = rng.choice([2, 2, 3])
+        fanins = rng.sample(signals, min(k, len(signals)))
+        kind = rng.choice(["and", "or", "xor"])
+        name = "g%d" % j
+        getattr(net, "add_" + kind)(name, fanins)
+        signals.append(name)
+    net.add_output("g%d" % (n_nodes - 1))
+    net.add_output("g%d" % (n_nodes - 2))
+    net.remove_dangling()
+    return net
