@@ -14,9 +14,10 @@ different mapper); the assertions check the *shape*.
 
 import pytest
 
-from common import RunMetrics, format_table, run_system
+from common import RunMetrics, format_table, run_system, write_kernel_json
 from conftest import register_table
 from repro.circuits import TABLE1_CIRCUITS, build_circuit
+from repro.perf import merge_snapshots
 
 # Paper's Table I values (area lambda^2, delay ns, CPU s, mem MB).
 PAPER_TABLE1 = {
@@ -93,3 +94,53 @@ def _emit():
     register_table("table1", format_table(
         "Table I -- large circuits, SIS (left) vs BDS (right)",
         header, rows, "\n".join(footer)))
+    _emit_kernel_json(tot)
+
+
+def _emit_kernel_json(tot):
+    """Machine-readable kernel metrics: per-circuit and aggregated BDS
+    counters plus the table CPU/mem totals, for cross-PR tracking."""
+    per_circuit = {}
+    snaps = []
+    for name in TABLE1_CIRCUITS:
+        _, bds = _results[name]
+        k = bds.kernel
+        snaps.append(k)
+        per_circuit[name] = {
+            "cpu_s": round(bds.cpu, 4),
+            "mem_mb": round(bds.mem_mb, 3),
+            "ite_calls": k.get("ite_calls", 0),
+            "cache_hit_rate": round(k.get("cache_hit_rate", 0.0), 4),
+            "peak_live_nodes": k.get("peak_live_nodes", 0),
+            "gc_sweeps": k.get("gc_sweeps", 0),
+            "gc_reclaimed": k.get("gc_reclaimed", 0),
+        }
+    agg = merge_snapshots(snaps)
+    bds_cpu = tot["bds"][2]
+    payload = {
+        "kernel": {
+            "ite_calls": agg.get("ite_calls", 0),
+            "ite_ops_per_sec": round(agg.get("ite_calls", 0) / bds_cpu)
+            if bds_cpu else 0,
+            "cache_hit_rate": round(agg.get("cache_hit_rate", 0.0), 4),
+            "cache_evictions": agg.get("cache_evictions", 0),
+            "peak_live_nodes": agg.get("peak_live_nodes", 0),
+            "peak_allocated_nodes": agg.get("peak_allocated_nodes", 0),
+            "gc_sweeps": agg.get("gc_sweeps", 0),
+            "gc_reclaimed": agg.get("gc_reclaimed", 0),
+            "nodes_allocated": agg.get("nodes_allocated", 0),
+            "nodes_reused": agg.get("nodes_reused", 0),
+        },
+        "table1_totals": {
+            "sis_cpu_s": round(tot["sis"][2], 3),
+            "sis_mem_mb": round(tot["sis"][3], 2),
+            "bds_cpu_s": round(bds_cpu, 3),
+            "bds_mem_mb": round(tot["bds"][3], 2),
+            "mem_ratio_bds_over_sis":
+                round(tot["bds"][3] / tot["sis"][3], 3),
+            "cpu_speedup_sis_over_bds":
+                round(tot["sis"][2] / bds_cpu, 2) if bds_cpu else 0,
+        },
+        "per_circuit": per_circuit,
+    }
+    write_kernel_json(payload)

@@ -1,13 +1,16 @@
 """Benchmark runner utilities: synthesize with both systems, map, verify,
 and collect the metrics the paper's tables report (gates, area, delay,
-CPU time, peak memory)."""
+CPU time, peak memory) plus the kernel-health counters (cache hit rate,
+GC sweeps, peak live nodes) that ``BENCH_kernel.json`` tracks across PRs."""
 
 from __future__ import annotations
 
+import json
+import os
 import time
 import tracemalloc
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 from repro.bds import BDSOptions, bds_optimize
 from repro.mapping import map_network, mcnc_library
@@ -16,6 +19,8 @@ from repro.sis import SISOptions, script_rugged
 from repro.verify import simulate_equivalence
 
 _LIBRARY = mcnc_library()
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 @dataclass
@@ -31,6 +36,8 @@ class RunMetrics:
     cpu: float
     mem_mb: float
     verified: bool
+    # Kernel perf counters (BDS only; empty for SIS, which is cube-based).
+    kernel: Dict[str, float] = field(default_factory=dict)
 
     def row(self) -> str:
         return ("%7d %8.0f %7.2f %8.3f %7.2f  %s"
@@ -47,9 +54,14 @@ def run_system(net: Network, system: str, verify: bool = True,
     times synthesis; both systems share the same mapper here).  Peak
     memory is the tracemalloc high-water mark during optimization.
     """
+    kernel: Dict[str, float] = {}
+
     def optimize():
         if system == "bds":
-            return bds_optimize(net, bds_options).network
+            result = bds_optimize(net, bds_options)
+            kernel.clear()
+            kernel.update(result.perf)
+            return result.network
         if system == "sis":
             return script_rugged(net, sis_options).network
         raise ValueError(system)
@@ -78,7 +90,22 @@ def run_system(net: Network, system: str, verify: bool = True,
         cpu=cpu,
         mem_mb=peak / (1024.0 * 1024.0),
         verified=verified,
+        kernel=dict(kernel),
     )
+
+
+def write_kernel_json(payload: Dict, filename: str = "BENCH_kernel.json") -> str:
+    """Write machine-readable kernel metrics next to the text tables.
+
+    Future PRs diff this file to track the perf trajectory (ops/sec, peak
+    live nodes, cache hit rate, table CPU/mem totals).
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def format_table(title: str, header: str, rows: list, footer: str = "") -> str:

@@ -28,8 +28,9 @@ Subpackages
 
 import sys
 
-# BDD recursions descend one level per call; generous headroom for deep
-# orders and long operator chains.
+# The ITE hot path is iterative (explicit stack) and needs no headroom,
+# but other kernel recursions (compose, quantification, isop, traversals)
+# still descend one level per variable; keep room for deep orders.
 if sys.getrecursionlimit() < 100000:
     sys.setrecursionlimit(100000)
 

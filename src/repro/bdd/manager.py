@@ -9,14 +9,30 @@ returns a complemented ref when needed.
 Variables are small ints handed out by :meth:`BDD.new_var`.  The manager
 keeps a ``var -> level`` permutation so the sifting reorderer can move
 variables without touching callers' variable ids.
+
+Kernel memory model (see ``docs/PERFORMANCE.md``):
+
+* The computed table is a **bounded, slot-indexed** :class:`ComputedTable`
+  (CUDD-style overwrite-on-collision) rather than an unbounded dict, so
+  operator caching can never dominate the heap.
+* Dead nodes are reclaimed by **mark-and-sweep** (:meth:`BDD.collect_garbage`)
+  from externally registered roots; reclaimed slots go on a free list that
+  ``mk`` reuses, keeping the node arrays and the unique table compact.
+* The ITE hot path is **iterative** (explicit stack) and therefore
+  independent of the interpreter recursion limit.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.perf import PerfCounters
+
 #: Sentinel level/var for the terminal node; larger than any real level.
 TERMINAL = 1 << 30
+
+#: Sentinel var id for a garbage-collected (tombstoned) node slot.
+DEAD = -1
 
 #: The constant TRUE function (terminal node, regular edge).
 ONE = 0
@@ -25,10 +41,72 @@ ONE = 0
 ZERO = 1
 
 
+class ComputedTable:
+    """Bounded, slot-indexed computed table with overwrite-on-collision.
+
+    Each slot holds one ``(key, result, generation)`` entry at index
+    ``hash(key) & mask``; a colliding insert simply overwrites (an
+    *eviction*).  Results are always canonical refs, so losing an entry can
+    never change an operator's result -- only cost a recomputation.
+
+    ``clear()`` is O(1): it bumps the generation stamp, invalidating every
+    stored entry lazily.  The table starts small and doubles (dropping its
+    contents) whenever sustained insert traffic shows it is undersized, up
+    to ``max_slots``.
+    """
+
+    __slots__ = ("slots", "mask", "gen", "max_slots", "_resize_at",
+                 "hits", "misses", "evictions", "inserts")
+
+    def __init__(self, slots: int = 1 << 8, max_slots: int = 1 << 16):
+        n = 1
+        while n < slots:
+            n <<= 1
+        self.max_slots = max(n, max_slots)
+        self.slots: List[Optional[Tuple]] = [None] * n
+        self.mask = n - 1
+        self.gen = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inserts = 0
+        self._resize_at = self.inserts + 2 * n
+
+    def lookup(self, key) -> Optional[int]:
+        s = self.slots[hash(key) & self.mask]
+        if s is not None and s[0] == key and s[2] == self.gen:
+            self.hits += 1
+            return s[1]
+        self.misses += 1
+        return None
+
+    def insert(self, key, value: int) -> None:
+        self.inserts += 1
+        if self.inserts >= self._resize_at and len(self.slots) < self.max_slots:
+            n = len(self.slots) * 2
+            self.slots = [None] * n
+            self.mask = n - 1
+            self._resize_at = self.inserts + 2 * n
+        i = hash(key) & self.mask
+        s = self.slots[i]
+        if s is not None and s[2] == self.gen and s[0] != key:
+            self.evictions += 1
+        self.slots[i] = (key, value, self.gen)
+
+    def clear(self) -> None:
+        self.gen += 1
+
+    def valid_entries(self) -> int:
+        """Occupied, non-stale slots (O(table size); diagnostics only)."""
+        gen = self.gen
+        return sum(1 for s in self.slots if s is not None and s[2] == gen)
+
+
 class BDD:
     """A manager for reduced, ordered BDDs with complement edges."""
 
-    def __init__(self) -> None:
+    def __init__(self, cache_slots: int = 1 << 8,
+                 cache_max_slots: int = 1 << 16) -> None:
         # Parallel node arrays.  Node 0 is the terminal.
         self._var: List[int] = [TERMINAL]
         self._lo: List[int] = [ONE]
@@ -36,15 +114,24 @@ class BDD:
         # Unique table: (var, lo, hi) -> node index.
         self._unique: Dict[Tuple[int, int, int], int] = {}
         # Computed table for ITE and other cached operators.
-        self._cache: Dict[Tuple, int] = {}
+        self._cache = ComputedTable(cache_slots, cache_max_slots)
         # Variable bookkeeping.
         self._var_names: List[str] = []
         self._name_to_var: Dict[str, int] = {}
         self._var2level: List[int] = []
         self._level2var: List[int] = []
         # Nodes indexed by variable (lists may contain stale entries after
-        # in-place reordering; consumers must re-check ``self._var``).
+        # in-place reordering; consumers must re-check ``self._var``.  GC
+        # purges the stale entries).
         self._nodes_by_var: Dict[int, List[int]] = {}
+        # Garbage collection state: tombstoned slots available for reuse,
+        # refcounted external roots, and the auto-GC trigger.
+        self._free: List[int] = []
+        self._roots: Dict[int, int] = {}
+        self._gc_min_trigger = 2048
+        self._gc_trigger = self._gc_min_trigger
+        self.gc_dead_ratio = 0.25
+        self.perf = PerfCounters()
 
     # ------------------------------------------------------------------
     # Variables and ordering
@@ -136,8 +223,13 @@ class BDD:
 
     @property
     def num_nodes_allocated(self) -> int:
-        """Total nodes ever allocated (including dead ones)."""
+        """Length of the node arrays (live + tombstoned dead slots)."""
         return len(self._var)
+
+    @property
+    def num_nodes_live(self) -> int:
+        """Allocated slots currently holding a live (non-tombstoned) node."""
+        return len(self._var) - 1 - len(self._free)
 
     # ------------------------------------------------------------------
     # Node construction
@@ -159,10 +251,21 @@ class BDD:
         key = (var, lo, hi)
         idx = self._unique.get(key)
         if idx is None:
-            idx = len(self._var)
-            self._var.append(var)
-            self._lo.append(lo)
-            self._hi.append(hi)
+            free = self._free
+            if free:
+                idx = free.pop()
+                self._var[idx] = var
+                self._lo[idx] = lo
+                self._hi[idx] = hi
+                self.perf.nodes_reused += 1
+            else:
+                idx = len(self._var)
+                self._var.append(var)
+                self._lo.append(lo)
+                self._hi.append(hi)
+                if idx + 1 > self.perf.peak_allocated_nodes:
+                    self.perf.peak_allocated_nodes = idx + 1
+            self.perf.nodes_allocated += 1
             self._unique[key] = idx
             self._nodes_by_var[var].append(idx)
         return idx << 1
@@ -180,63 +283,133 @@ class BDD:
     # ------------------------------------------------------------------
 
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``f & g | ~f & h``."""
-        # Terminal cases.
-        if f == ONE:
-            return g
-        if f == ZERO:
-            return h
-        if g == h:
-            return g
-        if g == ONE and h == ZERO:
-            return f
-        if g == ZERO and h == ONE:
-            return f ^ 1
-        # Standard normalizations reduce the cache footprint.
-        if g == f:
-            g = ONE
-        elif g == (f ^ 1):
-            g = ZERO
-        if h == f:
-            h = ZERO
-        elif h == (f ^ 1):
-            h = ONE
-        if g == h:
-            return g
-        if g == ONE and h == ZERO:
-            return f
-        if g == ZERO and h == ONE:
-            return f ^ 1
-        # Symmetry: ite(f,1,h) == ite(h,1,f); ite(f,g,0) == ite(g,f,0);
-        # prefer the smaller top level first for a canonical cache key.
-        if g == ONE and self.level(h) < self.level(f):
-            f, h = h, f
-        elif h == ZERO and self.level(g) < self.level(f):
-            f, g = g, f
-        elif h == ONE and self.level(g) < self.level(f):
-            f, g = g ^ 1, f ^ 1
-        elif g == ZERO and self.level(h) < self.level(f):
-            f, h = h ^ 1, f ^ 1
-        # Canonical polarity: first argument regular.
-        if f & 1:
-            f, g, h = f ^ 1, h, g
-        # Output polarity: g regular.
-        out_phase = 0
-        if g & 1:
-            g, h, out_phase = g ^ 1, h ^ 1, 1
-        key = (0, f, g, h)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached ^ out_phase
-        lf, lg, lh = self.level(f), self.level(g), self.level(h)
-        top = min(lf, lg, lh)
-        var = self._level2var[top]
-        f0, f1 = (self.children(f) if lf == top else (f, f))
-        g0, g1 = (self.children(g) if lg == top else (g, g))
-        h0, h1 = (self.children(h) if lh == top else (h, h))
-        r = self.mk(var, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._cache[key] = r
-        return r ^ out_phase
+        """If-then-else: ``f & g | ~f & h`` (iterative, explicit stack)."""
+        var_arr = self._var
+        lo_arr = self._lo
+        hi_arr = self._hi
+        var2level = self._var2level
+        level2var = self._level2var
+        cache = self._cache
+        slots, mask, gen = cache.slots, cache.mask, cache.gen
+        mk = self.mk
+        vals: List[int] = []
+        # Frames: (0, f, g, h) computes ite(f, g, h) onto the value stack;
+        # (1, var, key, phase) pops (r0, r1), builds the node, caches it.
+        stack: List[Tuple[int, int, int, int]] = [(0, f, g, h)]
+        pop = stack.pop
+        push = stack.append
+        vpush = vals.append
+        while stack:
+            tag, f, g, h = pop()
+            if tag:
+                r1 = vals.pop()
+                r0 = vals.pop()
+                r = mk(f, r0, r1)
+                cache.insert(g, r)
+                slots, mask = cache.slots, cache.mask
+                vpush(r ^ h)
+                continue
+            self.perf.ite_calls += 1
+            # Terminal cases.
+            if f == ONE:
+                vpush(g)
+                continue
+            if f == ZERO:
+                vpush(h)
+                continue
+            if g == h:
+                vpush(g)
+                continue
+            if g == ONE and h == ZERO:
+                vpush(f)
+                continue
+            if g == ZERO and h == ONE:
+                vpush(f ^ 1)
+                continue
+            # Standard normalizations reduce the cache footprint.
+            if g == f:
+                g = ONE
+            elif g == (f ^ 1):
+                g = ZERO
+            if h == f:
+                h = ZERO
+            elif h == (f ^ 1):
+                h = ONE
+            if g == h:
+                vpush(g)
+                continue
+            if g == ONE and h == ZERO:
+                vpush(f)
+                continue
+            if g == ZERO and h == ONE:
+                vpush(f ^ 1)
+                continue
+            # Symmetry: ite(f,1,h) == ite(h,1,f); ite(f,g,0) == ite(g,f,0);
+            # prefer the smaller top level first for a canonical cache key.
+            vf = var_arr[f >> 1]
+            lf = TERMINAL if vf == TERMINAL else var2level[vf]
+            if g == ONE:
+                vh = var_arr[h >> 1]
+                if vh != TERMINAL and var2level[vh] < lf:
+                    f, h = h, f
+            elif h == ZERO:
+                vg = var_arr[g >> 1]
+                if vg != TERMINAL and var2level[vg] < lf:
+                    f, g = g, f
+            elif h == ONE:
+                vg = var_arr[g >> 1]
+                if vg != TERMINAL and var2level[vg] < lf:
+                    f, g = g ^ 1, f ^ 1
+            elif g == ZERO:
+                vh = var_arr[h >> 1]
+                if vh != TERMINAL and var2level[vh] < lf:
+                    f, h = h ^ 1, f ^ 1
+            # Canonical polarity: first argument regular.
+            if f & 1:
+                f, g, h = f ^ 1, h, g
+            # Output polarity: g regular.
+            out_phase = 0
+            if g & 1:
+                g, h, out_phase = g ^ 1, h ^ 1, 1
+            key = (0, f, g, h)
+            s = slots[hash(key) & mask]
+            if s is not None and s[0] == key and s[2] == gen:
+                cache.hits += 1
+                vpush(s[1] ^ out_phase)
+                continue
+            cache.misses += 1
+            # Expand around the top variable of the triple.
+            vf = var_arr[f >> 1]
+            lf = var2level[vf]  # f is non-constant after normalization
+            vg = var_arr[g >> 1]
+            lg = TERMINAL if vg == TERMINAL else var2level[vg]
+            vh = var_arr[h >> 1]
+            lh = TERMINAL if vh == TERMINAL else var2level[vh]
+            top = lf
+            if lg < top:
+                top = lg
+            if lh < top:
+                top = lh
+            var = level2var[top]
+            if lf == top:
+                i, p = f >> 1, f & 1
+                f0, f1 = lo_arr[i] ^ p, hi_arr[i] ^ p
+            else:
+                f0 = f1 = f
+            if lg == top:
+                i, p = g >> 1, g & 1
+                g0, g1 = lo_arr[i] ^ p, hi_arr[i] ^ p
+            else:
+                g0 = g1 = g
+            if lh == top:
+                i, p = h >> 1, h & 1
+                h0, h1 = lo_arr[i] ^ p, hi_arr[i] ^ p
+            else:
+                h0 = h1 = h
+            push((1, var, key, out_phase))
+            push((0, f1, g1, h1))
+            push((0, f0, g0, h0))
+        return vals[0]
 
     def not_(self, f: int) -> int:
         return f ^ 1
@@ -263,26 +436,55 @@ class BDD:
         return self.ite(f, g, ONE)
 
     def and_many(self, refs: Sequence[int]) -> int:
-        out = ONE
-        for r in refs:
-            out = self.and_(out, r)
-            if out == ZERO:
-                return ZERO
-        return out
+        """Conjunction by balanced-tree reduction.
+
+        Pairing operands keeps intermediate BDDs small on wide supports
+        (a linear fold conjoins every operand into one growing result).
+        """
+        ops = list(refs)
+        if not ops:
+            return ONE
+        while len(ops) > 1:
+            nxt = []
+            for i in range(0, len(ops) - 1, 2):
+                r = self.and_(ops[i], ops[i + 1])
+                if r == ZERO:
+                    return ZERO
+                nxt.append(r)
+            if len(ops) & 1:
+                nxt.append(ops[-1])
+            ops = nxt
+        return ops[0]
 
     def or_many(self, refs: Sequence[int]) -> int:
-        out = ZERO
-        for r in refs:
-            out = self.or_(out, r)
-            if out == ONE:
-                return ONE
-        return out
+        """Disjunction by balanced-tree reduction (see :meth:`and_many`)."""
+        ops = list(refs)
+        if not ops:
+            return ZERO
+        while len(ops) > 1:
+            nxt = []
+            for i in range(0, len(ops) - 1, 2):
+                r = self.or_(ops[i], ops[i + 1])
+                if r == ONE:
+                    return ONE
+                nxt.append(r)
+            if len(ops) & 1:
+                nxt.append(ops[-1])
+            ops = nxt
+        return ops[0]
 
     def xor_many(self, refs: Sequence[int]) -> int:
-        out = ZERO
-        for r in refs:
-            out = self.xor_(out, r)
-        return out
+        """Parity by balanced-tree reduction (see :meth:`and_many`)."""
+        ops = list(refs)
+        if not ops:
+            return ZERO
+        while len(ops) > 1:
+            nxt = [self.xor_(ops[i], ops[i + 1])
+                   for i in range(0, len(ops) - 1, 2)]
+            if len(ops) & 1:
+                nxt.append(ops[-1])
+            ops = nxt
+        return ops[0]
 
     def leq(self, f: int, g: int) -> bool:
         """True iff ``f`` implies ``g`` (ON(f) subset of ON(g))."""
@@ -295,7 +497,7 @@ class BDD:
     def cofactor(self, f: int, var: int, value: bool) -> int:
         """Shannon cofactor of ``f`` with respect to ``var = value``."""
         key = (1, f, var, value)
-        cached = self._cache.get(key)
+        cached = self._cache.lookup(key)
         if cached is not None:
             return cached
         lv = self._var2level[var]
@@ -313,7 +515,7 @@ class BDD:
                 self.cofactor(lo, var, value),
                 self.cofactor(hi, var, value),
             )
-        self._cache[key] = r
+        self._cache.insert(key, r)
         return r
 
     def cofactor_cube(self, f: int, assignment: Dict[int, bool]) -> int:
@@ -331,7 +533,7 @@ class BDD:
         if self.level(f) > lv:
             return f
         key = (2, f, var, g)
-        cached = self._cache.get(key)
+        cached = self._cache.lookup(key)
         if cached is not None:
             return cached
         fvar = self.var_of(f)
@@ -344,7 +546,7 @@ class BDD:
             # fvar may be above or below var's level relative to substituted
             # functions; rebuild with ITE on the literal to stay canonical.
             r = self.ite(self.var_ref(fvar), r1, r0)
-        self._cache[key] = r
+        self._cache.insert(key, r)
         return r
 
     def vector_compose(self, f: int, subst: Dict[int, int]) -> int:
@@ -359,7 +561,7 @@ class BDD:
         if self.is_const(f):
             return f
         key = (3, f, token_hash, token)
-        cached = self._cache.get(key)
+        cached = self._cache.lookup(key)
         if cached is not None:
             return cached
         fvar = self.var_of(f)
@@ -370,7 +572,7 @@ class BDD:
         if g is None:
             g = self.var_ref(fvar)
         r = self.ite(g, r1, r0)
-        self._cache[key] = r
+        self._cache.insert(key, r)
         return r
 
     def exists(self, f: int, variables: Iterable[int]) -> int:
@@ -385,7 +587,7 @@ class BDD:
         if lf > max_level:
             return f
         key = (4, f, levels)
-        cached = self._cache.get(key)
+        cached = self._cache.lookup(key)
         if cached is not None:
             return cached
         lo, hi = self.children(f)
@@ -395,14 +597,116 @@ class BDD:
             r = self.or_(r0, r1)
         else:
             r = self.mk(self.var_of(f), r0, r1)
-        self._cache[key] = r
+        self._cache.insert(key, r)
         return r
 
     def forall(self, f: int, variables: Iterable[int]) -> int:
         return self.exists(f ^ 1, variables) ^ 1
 
     # ------------------------------------------------------------------
-    # Cache management
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def register_root(self, ref: int) -> int:
+        """Protect ``ref`` (and everything it reaches) from GC; returns it."""
+        self._roots[ref] = self._roots.get(ref, 0) + 1
+        return ref
+
+    def deregister_root(self, ref: int) -> None:
+        """Drop one protection of ``ref`` (refcounted)."""
+        count = self._roots.get(ref, 0)
+        if count <= 1:
+            self._roots.pop(ref, None)
+        else:
+            self._roots[ref] = count - 1
+
+    def registered_roots(self) -> List[int]:
+        return list(self._roots)
+
+    def collect_garbage(self, extra_roots: Sequence[int] = ()) -> int:
+        """Mark-and-sweep: tombstone every node unreachable from the
+        registered roots plus ``extra_roots``.
+
+        Reclaimed slots land on the free list for ``mk`` to reuse; their
+        unique-table entries are removed and ``_nodes_by_var`` is purged of
+        stale indices.  The computed table is invalidated (it may reference
+        dead refs).  All refs other than those reachable from the root set
+        become invalid.  Returns the number of nodes reclaimed.
+        """
+        var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
+        n = len(var_arr)
+        live = bytearray(n)
+        live[0] = 1
+        stack = [r >> 1 for r in self._roots]
+        stack.extend(r >> 1 for r in extra_roots)
+        while stack:
+            idx = stack.pop()
+            if live[idx]:
+                continue
+            live[idx] = 1
+            stack.append(lo_arr[idx] >> 1)
+            stack.append(hi_arr[idx] >> 1)
+        unique = self._unique
+        free: List[int] = []
+        purged = 0
+        for idx in range(1, n):
+            var = var_arr[idx]
+            if var == DEAD:
+                free.append(idx)
+                continue
+            if live[idx]:
+                continue
+            key = (var, lo_arr[idx], hi_arr[idx])
+            if unique.get(key) == idx:
+                del unique[key]
+            var_arr[idx] = DEAD
+            free.append(idx)
+            purged += 1
+        # Shrink the node arrays past a dead tail so long-lived managers
+        # do not keep peak-sized arrays forever.
+        while n > 1 and var_arr[n - 1] == DEAD:
+            n -= 1
+        if n < len(var_arr):
+            del var_arr[n:]
+            del lo_arr[n:]
+            del hi_arr[n:]
+            while free and free[-1] >= n:
+                free.pop()
+        self._free = free
+        # Purge stale/dead indices (including any trimmed off the tail) so
+        # reorder passes stop iterating over garbage.
+        for var, nodes in self._nodes_by_var.items():
+            self._nodes_by_var[var] = [
+                i for i in nodes if i < n and var_arr[i] == var]
+        self._cache.clear()
+        live_count = n - 1 - len(free)
+        perf = self.perf
+        perf.gc_sweeps += 1
+        perf.gc_reclaimed += purged
+        perf.observe_live(live_count + purged)  # live just before the sweep
+        self._gc_trigger = max(self._gc_min_trigger, 2 * live_count)
+        return purged
+
+    def maybe_collect(self, extra_roots: Sequence[int] = ()) -> int:
+        """Auto-GC trigger: sweep when the manager has grown past the
+        adaptive threshold *and* the dead-node ratio makes it worthwhile.
+
+        Callers must pass every ref they still need (beyond registered
+        roots) -- only call this at points where the full root set is known.
+        Returns the number of nodes reclaimed (0 when no sweep ran).
+        """
+        active = len(self._var) - 1 - len(self._free)
+        if active < self._gc_trigger:
+            return 0
+        before = active
+        purged = self.collect_garbage(extra_roots)
+        if before and purged / before < self.gc_dead_ratio:
+            # Mostly-live manager: back off so we do not thrash on marking.
+            self._gc_trigger = max(self._gc_trigger, 2 * (before - purged))
+        return purged
+
+    # ------------------------------------------------------------------
+    # Cache management and perf reporting
     # ------------------------------------------------------------------
 
     def clear_cache(self) -> None:
@@ -410,4 +714,29 @@ class BDD:
         self._cache.clear()
 
     def cache_size(self) -> int:
-        return len(self._cache)
+        return self._cache.valid_entries()
+
+    def perf_snapshot(self) -> Dict[str, float]:
+        """Kernel-health counters as a flat dict (see ``repro.perf``)."""
+        perf = self.perf
+        cache = self._cache
+        perf.observe_live(self.num_nodes_live)
+        perf.observe_allocated(len(self._var))
+        lookups = cache.hits + cache.misses
+        return {
+            "ite_calls": perf.ite_calls,
+            "nodes_allocated": perf.nodes_allocated,
+            "nodes_reused": perf.nodes_reused,
+            "gc_sweeps": perf.gc_sweeps,
+            "gc_reclaimed": perf.gc_reclaimed,
+            "peak_live_nodes": perf.peak_live_nodes,
+            "peak_allocated_nodes": perf.peak_allocated_nodes,
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+            "cache_evictions": cache.evictions,
+            "cache_inserts": cache.inserts,
+            "cache_slots": len(cache.slots),
+            "cache_hit_rate": (cache.hits / lookups) if lookups else 0.0,
+            "unique_live_ratio": (
+                self.num_nodes_live / len(self._var) if len(self._var) else 0.0),
+        }

@@ -42,7 +42,7 @@ def _and_exists(mgr: BDD, f: int, g: int, levels: frozenset,
     if g < f:
         f, g = g, f
     key = (_AND_EXISTS, f, g, levels)
-    cached = mgr._cache.get(key)
+    cached = mgr._cache.lookup(key)
     if cached is not None:
         return cached
     lf, lg = mgr.level(f), mgr.level(g)
@@ -60,7 +60,7 @@ def _and_exists(mgr: BDD, f: int, g: int, levels: frozenset,
     else:
         r1 = _and_exists(mgr, f1, g1, levels, max_level)
         r = mgr.mk(var, r0, r1)
-    mgr._cache[key] = r
+    mgr._cache.insert(key, r)
     return r
 
 

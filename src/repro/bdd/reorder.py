@@ -21,11 +21,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
-from repro.bdd.manager import BDD, TERMINAL
+from repro.bdd.manager import BDD, DEAD, TERMINAL
 from repro.bdd.traverse import live_nodes, support
-
-
-DEAD = -1  # tombstone var id for purged nodes
 
 
 def swap_adjacent(mgr: BDD, level: int, live=None) -> None:
@@ -104,27 +101,15 @@ def move_var_to_level(mgr: BDD, var: int, target: int, roots=None) -> None:
 
 
 def collect_garbage(mgr: BDD, roots: Sequence[int]) -> int:
-    """Purge every node unreachable from ``roots``: remove its unique-table
-    entry and tombstone it so it can never be resurrected by ``mk``.
+    """Purge every node unreachable from ``roots`` (plus any roots
+    registered on the manager): delegate to the manager's mark-and-sweep
+    collector, which tombstones dead slots onto the free list, compacts the
+    unique table and purges ``_nodes_by_var`` of stale indices.
 
     Returns the number of nodes purged.  All refs other than those
-    reachable from ``roots`` become invalid.
+    reachable from the root set become invalid.
     """
-    live = live_nodes(mgr, roots)
-    purged = 0
-    for idx in range(1, len(mgr._var)):
-        var = mgr._var[idx]
-        if var == DEAD or idx in live:
-            continue
-        key = (var, mgr._lo[idx], mgr._hi[idx])
-        if mgr._unique.get(key) == idx:
-            del mgr._unique[key]
-        mgr._var[idx] = DEAD
-        purged += 1
-    for var, nodes in mgr._nodes_by_var.items():
-        mgr._nodes_by_var[var] = [i for i in nodes if mgr._var[i] == var]
-    mgr._cache.clear()
-    return purged
+    return mgr.collect_garbage(extra_roots=roots)
 
 
 def sift(mgr: BDD, roots: Sequence[int], max_vars: int = 0,
@@ -142,7 +127,9 @@ def sift(mgr: BDD, roots: Sequence[int], max_vars: int = 0,
 
     def live_size() -> int:
         state["live"] = live_nodes(mgr, roots)
-        return len(state["live"]) - 1
+        n = len(state["live"]) - 1
+        mgr.perf.observe_live(n)
+        return n
 
     def do_swap(lvl: int) -> None:
         swap_adjacent(mgr, lvl, state["live"])

@@ -37,7 +37,7 @@ def _restrict(mgr: BDD, f: int, c: int) -> int:
     if f == c ^ 1:
         return ZERO
     key = (_RESTRICT, f, c)
-    cached = mgr._cache.get(key)
+    cached = mgr._cache.lookup(key)
     if cached is not None:
         return cached
     lf, lc = mgr.level(f), mgr.level(c)
@@ -63,7 +63,7 @@ def _restrict(mgr: BDD, f: int, c: int) -> int:
             r = _restrict(mgr, f0, c0)
         else:
             r = mgr.mk(mgr.var_of(f), _restrict(mgr, f0, c0), _restrict(mgr, f1, c1))
-    mgr._cache[key] = r
+    mgr._cache.insert(key, r)
     return r
 
 
@@ -82,7 +82,7 @@ def _constrain(mgr: BDD, f: int, c: int) -> int:
     if f == c ^ 1:
         return ZERO
     key = (_CONSTRAIN, f, c)
-    cached = mgr._cache.get(key)
+    cached = mgr._cache.lookup(key)
     if cached is not None:
         return cached
     lf, lc = mgr.level(f), mgr.level(c)
@@ -96,7 +96,7 @@ def _constrain(mgr: BDD, f: int, c: int) -> int:
         r = _constrain(mgr, f0, c0)
     else:
         r = mgr.mk(var, _constrain(mgr, f0, c0), _constrain(mgr, f1, c1))
-    mgr._cache[key] = r
+    mgr._cache.insert(key, r)
     return r
 
 

@@ -16,14 +16,16 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.bdd.manager import BDD, ONE
-from repro.bdd.traverse import live_nodes, support_many
+from repro.bdd.traverse import support_many
 
 
 def dumps(mgr: BDD, roots: Sequence[int]) -> str:
     """Serialize the functions ``roots`` (and their shared DAG)."""
     used_vars = sorted(support_many(mgr, roots), key=mgr.level_of_var)
     var_index = {v: i for i, v in enumerate(used_vars)}
-    live = sorted(live_nodes(mgr, roots) - {0})
+    # Children-first order.  Raw index order is NOT topological once the
+    # manager's free-list has recycled node slots, so walk the DAG.
+    live = _topological_live(mgr, roots)
     node_index = {0: 0}
     for i, idx in enumerate(live, start=1):
         node_index[idx] = i
@@ -39,6 +41,25 @@ def dumps(mgr: BDD, roots: Sequence[int]) -> str:
             remap(mgr._lo[idx]), remap(mgr._hi[idx])))
     lines.append(".roots " + " ".join(str(remap(r)) for r in roots))
     return "\n".join(lines) + "\n"
+
+
+def _topological_live(mgr: BDD, roots: Sequence[int]) -> List[int]:
+    """Live node indices (terminal excluded), children before parents."""
+    order: List[int] = []
+    seen = {0}
+    stack: List[Tuple[int, bool]] = [(r >> 1, False) for r in roots]
+    while stack:
+        idx, expanded = stack.pop()
+        if expanded:
+            order.append(idx)
+            continue
+        if idx in seen:
+            continue
+        seen.add(idx)
+        stack.append((idx, True))
+        stack.append((mgr._lo[idx] >> 1, False))
+        stack.append((mgr._hi[idx] >> 1, False))
+    return order
 
 
 def loads(text: str, mgr: BDD = None) -> Tuple[BDD, List[int]]:

@@ -74,6 +74,14 @@ def live_nodes(mgr: BDD, refs: Sequence[int]) -> Set[int]:
     return seen
 
 
+def live_node_count(mgr: BDD, refs: Sequence[int]) -> int:
+    """Live node count of ``refs`` (excluding the terminal), recorded into
+    the manager's ``peak_live_nodes`` perf gauge."""
+    n = len(live_nodes(mgr, refs)) - 1
+    mgr.perf.observe_live(n)
+    return n
+
+
 def evaluate(mgr: BDD, ref: int, assignment: Dict[int, bool]) -> bool:
     """Evaluate the function under a (complete for its support) assignment."""
     while not mgr.is_const(ref):

@@ -22,14 +22,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.bdd import transfer_many
 from repro.bdd.reorder import sift
+from repro.bdd.serialize import dumps as bdd_dumps, loads as bdd_loads
 from repro.decomp import extract_sharing, trees_to_network
 from repro.decomp.engine import DecompOptions, DecompStats, decompose
 from repro.network import Network, sweep
 from repro.network.eliminate import PartitionedNetwork
+from repro.perf import merge_snapshots
 
 
 @dataclass
@@ -51,6 +53,10 @@ class BDSOptions:
     # Section VI item 1 (future work in the paper, implemented here):
     # minimize supernodes against satisfiability don't-cares.
     use_sdc: bool = False
+    # Worker processes for per-supernode decomposition.  After eliminate,
+    # every supernode owns an independent BDD, so reorder+decompose fan out
+    # embarrassingly; 1 = in-process serial (deterministic either way).
+    jobs: int = 1
 
 
 @dataclass
@@ -60,6 +66,9 @@ class BDSResult:
     timings: Dict[str, float]
     supernodes: int
     mapping_count: int
+    # Aggregated kernel perf counters (cache hit rate, GC sweeps, peak live
+    # nodes, ...) from every manager the flow touched; see repro.perf.
+    perf: Dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         s = self.network.stats()
@@ -95,8 +104,15 @@ def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResul
     t0 = time.perf_counter()
     stats = DecompStats()
     trees = {}
-    for name in sorted(part.refs):
-        trees[name] = _decompose_supernode(part, name, opts, stats)
+    perf_snaps: List[Dict[str, float]] = []
+    names = sorted(part.refs)
+    if opts.jobs > 1 and len(names) > 1:
+        _decompose_parallel(part, names, opts, stats, trees, perf_snaps)
+    else:
+        for name in names:
+            tree, snap = _decompose_supernode(part, name, opts, stats)
+            trees[name] = tree
+            perf_snaps.append(snap)
     timings["decompose"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -118,8 +134,11 @@ def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResul
         sweep(gate_net, merge_equivalent=False)
     timings["lower"] = time.perf_counter() - t0
 
+    perf_snaps.extend(part.perf_history)
+    perf_snaps.append(part.mgr.perf_snapshot())
     return BDSResult(gate_net, stats, timings, supernodes=len(trees),
-                     mapping_count=part.mapping_count)
+                     mapping_count=part.mapping_count,
+                     perf=merge_snapshots(perf_snaps))
 
 
 def _decompose_supernode(part: PartitionedNetwork, name: str,
@@ -131,4 +150,40 @@ def _decompose_supernode(part: PartitionedNetwork, name: str,
     if opts.reorder and not mgr.is_const(local):
         sift(mgr, [local], size_limit=opts.sift_size_limit)
     tree = decompose(mgr, local, options=opts.decomp, stats=stats)
-    return tree.map_vars(mgr.var_name)
+    return tree.map_vars(mgr.var_name), mgr.perf_snapshot()
+
+
+def _decompose_worker(payload: Tuple[str, str, BDSOptions]):
+    """Process-pool entry point: rebuild one supernode BDD from its
+    serialized form, reorder, decompose, and ship the name-mapped tree
+    back with the worker's stats and kernel counters."""
+    name, text, opts = payload
+    mgr, roots = bdd_loads(text)
+    local = roots[0]
+    stats = DecompStats()
+    if opts.reorder and not mgr.is_const(local):
+        sift(mgr, [local], size_limit=opts.sift_size_limit)
+    tree = decompose(mgr, local, options=opts.decomp, stats=stats)
+    return name, tree.map_vars(mgr.var_name), stats.as_dict(), mgr.perf_snapshot()
+
+
+def _decompose_parallel(part: PartitionedNetwork, names: List[str],
+                        opts: BDSOptions, stats: DecompStats,
+                        trees: Dict[str, object],
+                        perf_snaps: List[Dict[str, float]]) -> None:
+    """Fan supernodes out over a process pool (opts.jobs workers).
+
+    Supernodes own independent BDDs after eliminate, so each worker gets
+    one serialized BDD and returns one factoring tree; results are merged
+    in sorted-name order, keeping the flow's output deterministic.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads = [(name, bdd_dumps(part.mgr, [part.refs[name]]), opts)
+                for name in names]
+    with ProcessPoolExecutor(max_workers=opts.jobs) as pool:
+        for name, tree, stats_dict, snap in pool.map(_decompose_worker,
+                                                     payloads):
+            trees[name] = tree
+            stats.merge(stats_dict)
+            perf_snaps.append(snap)

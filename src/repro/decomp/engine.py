@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.bdd.manager import BDD, ONE, ZERO
-from repro.bdd.traverse import node_count
+from repro.bdd.traverse import live_node_count, node_count
 from repro.decomp.cuts import enumerate_cuts
 from repro.decomp.dominators import find_simple_decompositions
 from repro.decomp.ftree import CONST0, CONST1, FTree, mux, negate, op2, var_leaf
@@ -69,6 +69,11 @@ class DecompStats:
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
 
+    def merge(self, other: Dict[str, int]) -> None:
+        """Accumulate counts from another stats dict (parallel workers)."""
+        for key, value in other.items():
+            setattr(self, key, getattr(self, key) + value)
+
 
 def decompose(mgr: BDD, root: int, options: Optional[DecompOptions] = None,
               stats: Optional[DecompStats] = None) -> FTree:
@@ -79,6 +84,7 @@ def decompose(mgr: BDD, root: int, options: Optional[DecompOptions] = None,
     """
     options = options or DecompOptions()
     stats = stats if stats is not None else DecompStats()
+    live_node_count(mgr, [root])  # record peak-live gauge before we expand
     memo: Dict[int, FTree] = {}
     return _decompose(mgr, root, options, stats, memo)
 

@@ -151,6 +151,13 @@ class PartitionedNetwork:
         self.sig_var: Dict[str, int] = {}
         self.refs: Dict[str, int] = {}
         self.mapping_count = 0  # how many BDD-mapping compactions ran
+        # Kernel counters of managers retired by compact(); merge these
+        # with the live manager's snapshot for full-flow accounting.
+        self.perf_history: List[Dict[str, float]] = []
+        # Per-node support cache (name -> var-id set).  Eliminate's value
+        # loop consults fanouts/pollution after every collapse; caching
+        # supports avoids retraversing every live BDD each time.
+        self._supports: Dict[str, Set[int]] = {}
 
     # -- construction ---------------------------------------------------
 
@@ -171,18 +178,32 @@ class PartitionedNetwork:
                     term = mgr.and_(term, fanin_refs[l >> 1] ^ (l & 1))
                 acc = mgr.or_(acc, term)
             part.refs[node.name] = acc
+            # Safe GC point: every ref still needed is in part.refs (fanin
+            # literal nodes are recreated on demand by var_ref).
+            mgr.maybe_collect(part.refs.values())
         return part
 
     # -- queries ----------------------------------------------------------
 
+    def _support_of(self, name: str) -> Set[int]:
+        """Cached support of a node's BDD; invalidated when its ref moves."""
+        s = self._supports.get(name)
+        if s is None:
+            s = support(self.mgr, self.refs[name])
+            self._supports[name] = s
+        return s
+
+    def _invalidate_support(self, name: str) -> None:
+        self._supports.pop(name, None)
+
     def fanin_signals(self, name: str) -> List[str]:
-        var_names = [self.mgr.var_name(v) for v in support(self.mgr, self.refs[name])]
+        var_names = [self.mgr.var_name(v) for v in self._support_of(name)]
         return sorted(var_names)
 
     def fanouts(self) -> Dict[str, List[str]]:
         out: Dict[str, List[str]] = {}
-        for name, ref in self.refs.items():
-            for v in support(self.mgr, ref):
+        for name in self.refs:
+            for v in self._support_of(name):
                 out.setdefault(self.mgr.var_name(v), []).append(name)
         return out
 
@@ -191,12 +212,13 @@ class PartitionedNetwork:
 
     def remove_dangling(self) -> int:
         used: Set[str] = set(self.outputs)
-        for name, ref in self.refs.items():
-            for v in support(self.mgr, ref):
+        for name in self.refs:
+            for v in self._support_of(name):
                 used.add(self.mgr.var_name(v))
         dead = [n for n in self.refs if n not in used]
         for n in dead:
             del self.refs[n]
+            self._invalidate_support(n)
         return len(dead)
 
     # -- the eliminate loop ----------------------------------------------
@@ -220,6 +242,7 @@ class PartitionedNetwork:
                 consumers = [c for c in fanouts.get(name, []) if c in self.refs]
                 if not consumers:
                     del self.refs[name]
+                    self._invalidate_support(name)
                     changed = True
                     continue
                 var = self.sig_var[name]
@@ -237,12 +260,20 @@ class PartitionedNetwork:
                     delta += msize - node_count(mgr, self.refs[c])
                     new_refs[c] = merged
                 if too_big or delta > threshold:
+                    # The trial compositions are garbage now; reap them if
+                    # the manager has grown past the trigger.
+                    mgr.maybe_collect(self.refs.values())
                     continue
                 for c, merged in new_refs.items():
                     self.refs[c] = merged
+                    self._invalidate_support(c)
                 del self.refs[name]
+                self._invalidate_support(name)
                 changed = True
                 fanouts = self.fanouts()
+                # Dead-node sweep at a safe point: the collapse is merged,
+                # so self.refs is the complete live root set.
+                mgr.maybe_collect(self.refs.values())
                 if use_mapping and self._pollution() > mapping_trigger:
                     self.compact()
                     mgr = self.mgr
@@ -256,8 +287,8 @@ class PartitionedNetwork:
     def _pollution(self) -> float:
         """Fraction of manager variables that no live BDD uses."""
         used: Set[int] = set()
-        for ref in self.refs.values():
-            used |= support(self.mgr, ref)
+        for name in self.refs:
+            used |= self._support_of(name)
         total = self.mgr.num_vars
         if not total:
             return 0.0
@@ -267,6 +298,7 @@ class PartitionedNetwork:
         """BDD mapping (Section IV-B): rebuild all live BDDs in a fresh
         manager containing only the variables still in use."""
         names = list(self.refs)
+        self.perf_history.append(self.mgr.perf_snapshot())
         result = transfer_many(self.mgr, [self.refs[n] for n in names])
         # transfer_many drops variables with no nodes; re-add missing node
         # variables (a node whose BDD is constant may still be referenced).
@@ -280,6 +312,8 @@ class PartitionedNetwork:
                 self.sig_var[sig] = new_mgr.new_var(sig)
         self.mgr = new_mgr
         self.mapping_count += 1
+        # Var ids changed wholesale; every cached support is stale.
+        self._supports.clear()
 
     # -- conversion back to a cube network --------------------------------
 

@@ -310,6 +310,9 @@ def _merge_functional(net: Network, seed: int, bdd_cap: int) -> bool:
 
     changed = False
     for group in candidates:
+        # Safe GC point between groups: every ref still needed for later
+        # cone building lives in global_bdd.
+        mgr.maybe_collect([r for r in global_bdd.values() if r is not None])
         keep_by_ref: Dict[int, str] = {}
         for name in group:
             ref = build(name)

@@ -1,0 +1,70 @@
+"""Kernel performance counters.
+
+Every :class:`repro.bdd.manager.BDD` owns a :class:`PerfCounters` instance
+(``mgr.perf``) updated by the hot paths: the bounded computed table counts
+hits/misses/evictions, ``mk`` counts allocations and free-list reuse, and
+the mark-and-sweep collector counts sweeps and reclaimed nodes.  Flows
+aggregate per-manager snapshots with :func:`merge_snapshots` so a benchmark
+can report kernel health (cache hit rate, peak live nodes, GC pressure)
+alongside CPU and memory.
+
+See ``docs/PERFORMANCE.md`` for how to read the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class PerfCounters:
+    """Raw counters maintained by one BDD manager."""
+
+    ite_calls: int = 0            # top-level + expanded ITE subproblems
+    nodes_allocated: int = 0      # mk() allocations (fresh slots)
+    nodes_reused: int = 0        # mk() allocations served from the free list
+    gc_sweeps: int = 0            # mark-and-sweep passes
+    gc_reclaimed: int = 0         # nodes tombstoned across all sweeps
+    peak_live_nodes: int = 0      # max live count observed (at GC/snapshot)
+    peak_allocated_nodes: int = 0  # max node-array length observed
+
+    def observe_live(self, live: int) -> None:
+        if live > self.peak_live_nodes:
+            self.peak_live_nodes = live
+
+    def observe_allocated(self, allocated: int) -> None:
+        if allocated > self.peak_allocated_nodes:
+            self.peak_allocated_nodes = allocated
+
+
+#: Snapshot keys that are high-water marks (merged with ``max``); every
+#: other numeric key is a count and merges with ``+``.
+_PEAK_KEYS = frozenset({"peak_live_nodes", "peak_allocated_nodes"})
+
+#: Derived keys recomputed after merging rather than summed.
+_DERIVED_KEYS = frozenset({"cache_hit_rate", "unique_live_ratio"})
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Aggregate per-manager snapshots (``BDD.perf_snapshot()`` dicts).
+
+    Counts are summed, peaks are maxed, and the derived ratios
+    (``cache_hit_rate``, ``unique_live_ratio``) are recomputed from the
+    aggregated counts so they stay meaningful.
+    """
+    out: Dict[str, float] = {}
+    for snap in snapshots:
+        for key, value in snap.items():
+            if key in _DERIVED_KEYS:
+                continue
+            if key in _PEAK_KEYS:
+                out[key] = max(out.get(key, 0), value)
+            else:
+                out[key] = out.get(key, 0) + value
+    lookups = out.get("cache_hits", 0) + out.get("cache_misses", 0)
+    out["cache_hit_rate"] = (out.get("cache_hits", 0) / lookups) if lookups else 0.0
+    allocated = out.get("peak_allocated_nodes", 0)
+    out["unique_live_ratio"] = (
+        out.get("peak_live_nodes", 0) / allocated if allocated else 0.0)
+    return out

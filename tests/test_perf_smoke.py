@@ -1,0 +1,50 @@
+"""Kernel performance smoke tests (opt-in: ``pytest -m perf``).
+
+Not part of the tier-1 suite -- these assert *perf-shaped* properties
+(cache effectiveness, GC pressure, wall-clock ceilings) that are
+environment-sensitive, with thresholds loose enough to only catch gross
+regressions (an accidentally unbounded cache, GC never firing, a
+quadratic hot path).
+"""
+
+import time
+
+import pytest
+
+from repro.bds import BDSOptions, bds_optimize
+from repro.circuits import build_circuit
+
+pytestmark = pytest.mark.perf
+
+
+def test_flow_kernel_health_on_c880():
+    net = build_circuit("C880")
+    t0 = time.perf_counter()
+    result = bds_optimize(net, BDSOptions())
+    elapsed = time.perf_counter() - t0
+    perf = result.perf
+
+    # The computed table must be doing real work on a circuit this size.
+    assert perf["ite_calls"] > 1000
+    assert perf["cache_hit_rate"] > 0.10, (
+        "cache hit rate collapsed: %.3f" % perf["cache_hit_rate"])
+    # Bounded table: slot count can never exceed the configured maximum.
+    assert perf["cache_slots"] <= 1 << 16
+
+    # GC keeps the live set a bounded fraction of everything ever built.
+    assert perf["peak_live_nodes"] > 0
+    assert perf["peak_live_nodes"] <= perf["peak_allocated_nodes"]
+
+    # Gross wall-clock ceiling only (C880 runs in well under a second on
+    # any machine this repo targets; 30s means something is quadratic).
+    assert elapsed < 30.0
+
+
+def test_gc_reclaims_during_eliminate():
+    net = build_circuit("C1355")
+    result = bds_optimize(net, BDSOptions())
+    perf = result.perf
+    assert perf["gc_sweeps"] >= 1, "auto-GC never fired on C1355"
+    assert perf["gc_reclaimed"] > 0
+    # Reclaimed slots must actually be recycled by later allocations.
+    assert perf["nodes_reused"] > 0
