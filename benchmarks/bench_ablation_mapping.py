@@ -15,7 +15,6 @@ variables:
 
 import time
 
-import pytest
 
 from conftest import register_table
 from common import format_table

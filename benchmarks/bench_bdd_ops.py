@@ -8,7 +8,6 @@ caught next to the system-level numbers.
 
 import random
 
-import pytest
 
 from repro.bdd import BDD, transfer_many
 from repro.bdd.isop import isop

@@ -8,7 +8,6 @@ tests/test_paper_figures.py; this bench times the engine on the set and
 emits the human-readable table).
 """
 
-import pytest
 
 from common import format_table
 from conftest import register_table

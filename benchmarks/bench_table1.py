@@ -14,7 +14,7 @@ different mapper); the assertions check the *shape*.
 
 import pytest
 
-from common import RunMetrics, format_table, run_system, write_kernel_json
+from common import format_table, run_system, write_kernel_json
 from conftest import register_table
 from repro.circuits import TABLE1_CIRCUITS, build_circuit
 from repro.perf import merge_snapshots

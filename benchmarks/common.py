@@ -10,7 +10,7 @@ import os
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
 from repro.bds import BDSOptions, bds_optimize
 from repro.mapping import map_network, mcnc_library

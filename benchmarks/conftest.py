@@ -6,7 +6,7 @@ output capture) and written to ``results/`` next to this directory.
 """
 
 import os
-from typing import Dict, List
+from typing import Dict
 
 _TABLES: Dict[str, str] = {}
 

@@ -3,7 +3,7 @@ paper's figures: solid 1-edge, dashed 0-edge, bubble on complement edges)."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence, Set
 
 from repro.bdd.manager import BDD
 
@@ -11,8 +11,8 @@ from repro.bdd.manager import BDD
 def to_dot(mgr: BDD, refs: Sequence[int], names: Sequence[str] = ()) -> str:
     """Render one or more functions as a DOT digraph string."""
     lines = ["digraph bdd {", '  rankdir=TB;']
-    seen = set()
-    stack = []
+    seen: Set[int] = set()
+    stack: List[int] = []
     for i, ref in enumerate(refs):
         label = names[i] if i < len(names) else "f%d" % i
         lines.append('  "%s" [shape=plaintext];' % label)

@@ -34,7 +34,9 @@ def isop_interval(mgr: BDD, lower: int, upper: int) -> Tuple[List[Cube], int]:
     return _isop(mgr, lower, upper, {})
 
 
-def _isop(mgr: BDD, lower: int, upper: int, memo: Dict) -> Tuple[List[Cube], int]:
+def _isop(mgr: BDD, lower: int, upper: int,
+          memo: Dict[Tuple[int, int], Tuple[List[Cube], int]],
+          ) -> Tuple[List[Cube], int]:
     if lower == ZERO:
         return [], ZERO
     if upper == ONE:

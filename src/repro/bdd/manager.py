@@ -24,7 +24,16 @@ Kernel memory model (see ``docs/PERFORMANCE.md``):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+#: A computed-table key: a small tuple tagged by operation (see the key
+#: layouts in ``repro.check.bdd_sanitizer``).  Keys are heterogeneous
+#: tuples, so they are typed ``Any`` at the table interface.
+CacheKey = Any
+
+#: One computed-table slot: ``(key, result_ref, generation)``.
+CacheEntry = Tuple[CacheKey, int, int]
 
 from repro.perf import PerfCounters
 
@@ -58,12 +67,12 @@ class ComputedTable:
     __slots__ = ("slots", "mask", "gen", "max_slots", "_resize_at",
                  "hits", "misses", "evictions", "inserts")
 
-    def __init__(self, slots: int = 1 << 8, max_slots: int = 1 << 16):
+    def __init__(self, slots: int = 1 << 8, max_slots: int = 1 << 16) -> None:
         n = 1
         while n < slots:
             n <<= 1
         self.max_slots = max(n, max_slots)
-        self.slots: List[Optional[Tuple]] = [None] * n
+        self.slots: List[Optional[CacheEntry]] = [None] * n
         self.mask = n - 1
         self.gen = 0
         self.hits = 0
@@ -72,7 +81,7 @@ class ComputedTable:
         self.inserts = 0
         self._resize_at = self.inserts + 2 * n
 
-    def lookup(self, key) -> Optional[int]:
+    def lookup(self, key: CacheKey) -> Optional[int]:
         s = self.slots[hash(key) & self.mask]
         if s is not None and s[0] == key and s[2] == self.gen:
             self.hits += 1
@@ -80,7 +89,7 @@ class ComputedTable:
         self.misses += 1
         return None
 
-    def insert(self, key, value: int) -> None:
+    def insert(self, key: CacheKey, value: int) -> None:
         self.inserts += 1
         if self.inserts >= self._resize_at and len(self.slots) < self.max_slots:
             n = len(self.slots) * 2
@@ -295,7 +304,9 @@ class BDD:
         vals: List[int] = []
         # Frames: (0, f, g, h) computes ite(f, g, h) onto the value stack;
         # (1, var, key, phase) pops (r0, r1), builds the node, caches it.
-        stack: List[Tuple[int, int, int, int]] = [(0, f, g, h)]
+        # The third element is a ref in compute frames but a cache key in
+        # rebuild frames, hence the Any.
+        stack: List[Tuple[int, int, Any, int]] = [(0, f, g, h)]
         pop = stack.pop
         push = stack.append
         vpush = vals.append
@@ -557,7 +568,7 @@ class BDD:
         return self._vector_compose(f, subst, hash(token), token)
 
     def _vector_compose(self, f: int, subst: Dict[int, int], token_hash: int,
-                        token: Tuple) -> int:
+                        token: Tuple[Tuple[int, int], ...]) -> int:
         if self.is_const(f):
             return f
         key = (3, f, token_hash, token)
@@ -582,7 +593,7 @@ class BDD:
             return f
         return self._exists(f, levels, max(levels))
 
-    def _exists(self, f: int, levels: frozenset, max_level: int) -> int:
+    def _exists(self, f: int, levels: FrozenSet[int], max_level: int) -> int:
         lf = self.level(f)
         if lf > max_level:
             return f
@@ -731,6 +742,8 @@ class BDD:
             "gc_reclaimed": perf.gc_reclaimed,
             "peak_live_nodes": perf.peak_live_nodes,
             "peak_allocated_nodes": perf.peak_allocated_nodes,
+            "checks_run": perf.checks_run,
+            "check_violations": perf.check_violations,
             "cache_hits": cache.hits,
             "cache_misses": cache.misses,
             "cache_evictions": cache.evictions,

@@ -8,9 +8,9 @@ pass.  ``swap_vars`` and ``rename_vars`` are substitution conveniences.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, FrozenSet, Iterable, Tuple
 
-from repro.bdd.manager import BDD, ONE, TERMINAL, ZERO
+from repro.bdd.manager import BDD, ONE, ZERO
 
 _AND_EXISTS = 7
 
@@ -23,7 +23,7 @@ def and_exists(mgr: BDD, f: int, g: int, variables: Iterable[int]) -> int:
     return _and_exists(mgr, f, g, levels, max(levels))
 
 
-def _and_exists(mgr: BDD, f: int, g: int, levels: frozenset,
+def _and_exists(mgr: BDD, f: int, g: int, levels: FrozenSet[int],
                 max_level: int) -> int:
     if f == ZERO or g == ZERO:
         return ZERO

@@ -19,13 +19,14 @@ logic simplification", Section IV-C).  We implement:
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.bdd.manager import BDD, DEAD, TERMINAL
-from repro.bdd.traverse import live_nodes, support
+from repro.bdd.manager import BDD, DEAD
+from repro.bdd.traverse import live_nodes
 
 
-def swap_adjacent(mgr: BDD, level: int, live=None) -> None:
+def swap_adjacent(mgr: BDD, level: int,
+                  live: Optional[Set[int]] = None) -> None:
     """Swap the variables at ``level`` and ``level + 1`` in place.
 
     Every external ref keeps denoting the same Boolean function.  When a
@@ -40,7 +41,7 @@ def swap_adjacent(mgr: BDD, level: int, live=None) -> None:
     unique = mgr._unique
     # Snapshot of x-labelled nodes; mk() during the loop may append new ones
     # which must not be processed.
-    x_nodes = []
+    x_nodes: List[int] = []
     for i in mgr._nodes_by_var[x]:
         if var_arr[i] != x:
             continue
@@ -87,7 +88,8 @@ def swap_adjacent(mgr: BDD, level: int, live=None) -> None:
     mgr._cache.clear()
 
 
-def move_var_to_level(mgr: BDD, var: int, target: int, roots=None) -> None:
+def move_var_to_level(mgr: BDD, var: int, target: int,
+                      roots: Optional[Sequence[int]] = None) -> None:
     """Move one variable to ``target`` level via adjacent swaps."""
     cur = mgr._var2level[var]
     while cur < target:
@@ -123,7 +125,7 @@ def sift(mgr: BDD, roots: Sequence[int], max_vars: int = 0,
     All refs not reachable from ``roots`` are invalidated (dead nodes are
     purged so that in-place reordering stays canonical).
     """
-    state = {"live": live_nodes(mgr, roots)}
+    state: Dict[str, Set[int]] = {"live": live_nodes(mgr, roots)}
 
     def live_size() -> int:
         state["live"] = live_nodes(mgr, roots)
@@ -240,14 +242,14 @@ def force_order(var_groups: Iterable[Sequence[int]], num_vars: int,
     groups = [list(g) for g in var_groups if g]
     position = {v: float(i) for i, v in enumerate(range(num_vars))}
     for _ in range(iterations):
-        centers = []
+        centers: List[float] = []
         for g in groups:
             centers.append(sum(position[v] for v in g) / len(g))
         pull: Dict[int, List[float]] = {}
         for g, c in zip(groups, centers):
             for v in g:
                 pull.setdefault(v, []).append(c)
-        new_pos = {}
+        new_pos: Dict[int, float] = {}
         for v in range(num_vars):
             if v in pull:
                 new_pos[v] = sum(pull[v]) / len(pull[v])

@@ -15,6 +15,8 @@ away such "sibling-substitution" variables and is the safer minimizer.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.bdd.manager import BDD, ONE, ZERO
 
 _RESTRICT = 5
@@ -115,9 +117,10 @@ def minimize_with_dc(mgr: BDD, onset: int, dc: int) -> int:
         return onset
     care = dc ^ 1
     upper = mgr.or_(onset, dc)
-    candidates = [restrict(mgr, onset, care), restrict(mgr, upper, care) , onset, upper]
-    best = None
-    best_size = None
+    candidates = [restrict(mgr, onset, care), restrict(mgr, upper, care),
+                  onset, upper]
+    best: Optional[int] = None
+    best_size = 0
     for cand in candidates:
         if not mgr.leq(onset, cand):
             continue

@@ -13,7 +13,7 @@ The format is line-based and order-preserving::
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bdd.manager import BDD, ONE
 from repro.bdd.traverse import support_many
@@ -62,7 +62,7 @@ def _topological_live(mgr: BDD, roots: Sequence[int]) -> List[int]:
     return order
 
 
-def loads(text: str, mgr: BDD = None) -> Tuple[BDD, List[int]]:
+def loads(text: str, mgr: Optional[BDD] = None) -> Tuple[BDD, List[int]]:
     """Load serialized functions; returns ``(manager, roots)``.
 
     When ``mgr`` is given, variables are matched by name (created as
@@ -75,7 +75,7 @@ def loads(text: str, mgr: BDD = None) -> Tuple[BDD, List[int]]:
     var_names: List[str] = []
     node_lines: List[Tuple[int, int, int, int]] = []
     roots_spec: List[int] = []
-    section = None
+    section: Optional[str] = None
     for line in lines[1:]:
         if line.startswith(".vars"):
             var_names = line.split()[1:]
@@ -86,8 +86,7 @@ def loads(text: str, mgr: BDD = None) -> Tuple[BDD, List[int]]:
         elif section == "nodes":
             a, b, c, d = (int(t) for t in line.split())
             node_lines.append((a, b, c, d))
-    fresh = mgr is None
-    if fresh:
+    if mgr is None:
         mgr = BDD()
     var_of: Dict[int, int] = {}
     for i, name in enumerate(var_names):

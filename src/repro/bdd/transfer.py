@@ -12,7 +12,7 @@ speedup it buys.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.bdd.manager import BDD, ONE
 
@@ -34,8 +34,8 @@ def transfer(src: BDD, dst: BDD, ref: int,
             except KeyError:
                 var_map[var] = dst.new_var(name)
     memo: Dict[int, int] = {0: ONE} if _memo is None else _memo
-    ordered = _is_order_preserving(src, dst, var_map)
-    return _transfer_rec(src, dst, ref, var_map, memo, ordered)
+    order_ok = _is_order_preserving(src, dst, var_map)
+    return _transfer_rec(src, dst, ref, var_map, memo, order_ok)
 
 
 def transfer_many(src: BDD, refs: Sequence[int],
@@ -62,15 +62,16 @@ def transfer_many(src: BDD, refs: Sequence[int],
             if var_map[v] >= dst.num_vars:
                 raise ValueError("explicit var_map must target a prepared manager")
     memo: Dict[int, int] = {0: ONE}
-    ordered = _is_order_preserving(src, dst, var_map)
-    new_refs = [_transfer_rec(src, dst, r, var_map, memo, ordered) for r in refs]
+    order_ok = _is_order_preserving(src, dst, var_map)
+    new_refs = [_transfer_rec(src, dst, r, var_map, memo, order_ok) for r in refs]
     return TransferResult(dst, new_refs, var_map)
 
 
 class TransferResult:
     """Outcome of :func:`transfer_many`."""
 
-    def __init__(self, manager: BDD, refs: List[int], var_map: Dict[int, int]):
+    def __init__(self, manager: BDD, refs: List[int],
+                 var_map: Dict[int, int]) -> None:
         self.manager = manager
         self.refs = refs
         self.var_map = var_map
@@ -100,7 +101,7 @@ def _transfer_rec(src: BDD, dst: BDD, ref: int, var_map: Dict[int, int],
     return out ^ phase
 
 
-def _used_vars(src: BDD, refs: Sequence[int]) -> set:
+def _used_vars(src: BDD, refs: Sequence[int]) -> Set[int]:
     from repro.bdd.traverse import support_many
 
     return support_many(src, refs)

@@ -250,7 +250,8 @@ def iter_paths(mgr: BDD, root: int, limit: int = 100000) -> Iterator[Tuple[Dict[
     """
     produced = 0
 
-    def rec(ref: int, cube: Dict[int, bool]):
+    def rec(ref: int, cube: Dict[int, bool],
+            ) -> Iterator[Tuple[Dict[int, bool], bool]]:
         nonlocal produced
         if mgr.is_const(ref):
             produced += 1

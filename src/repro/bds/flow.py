@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bdd import transfer_many
 from repro.bdd.reorder import sift
 from repro.bdd.serialize import dumps as bdd_dumps, loads as bdd_loads
+from repro.check import Checker, sanitize_bdd
 from repro.decomp import extract_sharing, trees_to_network
 from repro.decomp.engine import DecompOptions, DecompStats, decompose
 from repro.network import Network, sweep
@@ -57,6 +58,11 @@ class BDSOptions:
     # every supernode owns an independent BDD, so reorder+decompose fan out
     # embarrassingly; 1 = in-process serial (deterministic either way).
     jobs: int = 1
+    # Invariant sanitizer level ("off" / "cheap" / "full"): runs the
+    # repro.check audits at the flow's GC safe points (sweep boundaries,
+    # network construction, the eliminate loop, decomposition merge) and
+    # raises repro.check.CheckError on the first violated invariant.
+    check_level: str = "off"
 
 
 @dataclass
@@ -80,18 +86,23 @@ class BDSResult:
 def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResult:
     """Run the full BDS flow on a copy of ``net``."""
     opts = options or BDSOptions()
+    checker = Checker(opts.check_level)
     timings: Dict[str, float] = {}
     work = net.copy()
 
     t0 = time.perf_counter()
     sweep(work, merge_equivalent=opts.sweep_merge_equivalent)
+    checker.check_network(work, "network after initial sweep")
     timings["sweep"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     part = PartitionedNetwork.from_network(work)
+    checker.check_partition(part, "partition after construction")
     part.eliminate(threshold=opts.eliminate_threshold,
                    size_cap=opts.eliminate_size_cap,
-                   use_mapping=opts.use_bdd_mapping)
+                   use_mapping=opts.use_bdd_mapping,
+                   checker=checker)
+    checker.check_partition(part, "partition after eliminate")
     timings["eliminate"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -132,10 +143,12 @@ def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResul
                                 outputs=work.outputs, name=net.name)
     if opts.final_sweep:
         sweep(gate_net, merge_equivalent=False)
+    checker.check_network(gate_net, "network after lowering")
     timings["lower"] = time.perf_counter() - t0
 
     perf_snaps.extend(part.perf_history)
     perf_snaps.append(part.mgr.perf_snapshot())
+    perf_snaps.append(checker.snapshot())
     return BDSResult(gate_net, stats, timings, supernodes=len(trees),
                      mapping_count=part.mapping_count,
                      perf=merge_snapshots(perf_snaps))
@@ -150,6 +163,11 @@ def _decompose_supernode(part: PartitionedNetwork, name: str,
     if opts.reorder and not mgr.is_const(local):
         sift(mgr, [local], size_limit=opts.sift_size_limit)
     tree = decompose(mgr, local, options=opts.decomp, stats=stats)
+    if opts.check_level != "off":
+        # Decomposition-merge safe point: the supernode's private manager
+        # must still be canonical after reordering + decomposition.
+        sanitize_bdd(mgr, level=opts.check_level,
+                     subject="supernode %r manager after decompose" % name)
     return tree.map_vars(mgr.var_name), mgr.perf_snapshot()
 
 
@@ -164,6 +182,9 @@ def _decompose_worker(payload: Tuple[str, str, BDSOptions]):
     if opts.reorder and not mgr.is_const(local):
         sift(mgr, [local], size_limit=opts.sift_size_limit)
     tree = decompose(mgr, local, options=opts.decomp, stats=stats)
+    if opts.check_level != "off":
+        sanitize_bdd(mgr, level=opts.check_level,
+                     subject="supernode %r manager after decompose" % name)
     return name, tree.map_vars(mgr.var_name), stats.as_dict(), mgr.perf_snapshot()
 
 

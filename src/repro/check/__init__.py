@@ -1,0 +1,215 @@
+"""``repro.check``: executable invariants for BDDs and Boolean networks.
+
+A sanitizer in the ASan/TSan sense, but for BDD managers and netlists
+instead of memory: the structural assumptions that every BDS decomposition
+silently relies on (canonicity of the unique table, the complement-edge
+normal form, variable-order monotonicity, GC bookkeeping, acyclicity of the
+network) are stated here as *checks* that can run at pass boundaries.
+
+Modules
+-------
+``bdd_sanitizer``
+    Audits a :class:`repro.bdd.BDD` manager: unique-table canonicity,
+    complement-edge normal form, order monotonicity, refcounted roots,
+    computed-table hygiene, free-list/tombstone agreement.
+``net_lint``
+    Lints a :class:`repro.network.Network` or a partitioned (local-BDD)
+    network: combinational cycles, dangling fanins, orphaned nodes,
+    duplicate outputs, foreign/dead BDD refs.
+
+Every violation is reported as a :class:`Violation` inside a
+:class:`CheckReport`; a failed check raises :class:`CheckError` carrying
+the violated invariant names, the offending refs and a minimized DOT dump
+of the corrupt region.  The :class:`Checker` facade is what the BDS flow
+wires through ``BDSOptions.check_level`` (``off`` / ``cheap`` / ``full``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Recognized check levels, in increasing cost order.
+CHECK_LEVELS = ("off", "cheap", "full")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated invariant instance."""
+
+    invariant: str                 # canonical invariant name (stable API)
+    message: str                   # human-readable diagnosis
+    refs: Tuple[int, ...] = ()     # offending BDD refs / node indices
+    signals: Tuple[str, ...] = ()  # offending network signal names
+
+    def __str__(self) -> str:
+        loc = ""
+        if self.refs:
+            loc = " refs=%s" % (list(self.refs),)
+        if self.signals:
+            loc += " signals=%s" % (list(self.signals),)
+        return "[%s] %s%s" % (self.invariant, self.message, loc)
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one sanitizer/lint run."""
+
+    subject: str                   # what was checked ("BDD manager", ...)
+    level: str                     # "cheap" or "full"
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    dot: str = ""                  # minimized DOT dump of the corrupt region
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def invariants(self) -> List[str]:
+        """Sorted unique names of the violated invariants."""
+        return sorted({v.invariant for v in self.violations})
+
+    def add(self, invariant: str, message: str,
+            refs: Tuple[int, ...] = (),
+            signals: Tuple[str, ...] = ()) -> None:
+        self.violations.append(Violation(invariant, message, refs, signals))
+
+    def format(self) -> str:
+        lines = ["%s (%s check): %d violation(s)"
+                 % (self.subject, self.level, len(self.violations))]
+        lines.extend("  " + str(v) for v in self.violations)
+        return "\n".join(lines)
+
+
+class CheckError(Exception):
+    """A sanitizer or lint check failed.
+
+    Carries the full :class:`CheckReport`; ``invariants`` names every
+    violated invariant and ``dot`` holds a minimized Graphviz dump of the
+    offending region (empty when no graph context applies).
+    """
+
+    def __init__(self, report: CheckReport) -> None:
+        self.report = report
+        self.invariants = report.invariants()
+        self.dot = report.dot
+        super().__init__(report.format())
+
+
+class Checker:
+    """Stateful facade running checks at flow safe points.
+
+    ``level`` is one of :data:`CHECK_LEVELS`.  ``quick=True`` downgrades a
+    ``full`` checker to the cheap per-node audit -- used inside hot loops
+    (the eliminate value loop) where the full unique/computed-table scans
+    would change the flow's complexity class.
+
+    Quick audits are additionally *amortized*: the cheap scan is
+    ``O(allocated slots)``, so running it after every collapse would make
+    eliminate quadratic on collapse-heavy circuits.  A quick audit
+    therefore only rescans a manager when its state has materially moved
+    since the last audit -- a GC sweep happened (the audited bookkeeping
+    only changes at sweeps) or the node arrays doubled.  Total audit cost
+    then tracks GC cost rather than collapses x nodes.
+
+    The checker only counts *network-side* checks itself; BDD-side counts
+    land in each manager's ``perf`` counters (and are merged into
+    ``BDSResult.perf`` with every other kernel counter).
+    """
+
+    __slots__ = ("level", "checks_run", "violations_found", "_quick_seen")
+
+    def __init__(self, level: str = "off") -> None:
+        if level not in CHECK_LEVELS:
+            raise ValueError("check_level must be one of %r, got %r"
+                             % (CHECK_LEVELS, level))
+        self.level = level
+        self.checks_run = 0
+        self.violations_found = 0
+        # id(mgr) -> (gc_sweeps, allocated) at the last quick audit.
+        self._quick_seen: Dict[int, Tuple[int, int]] = {}
+
+    def _quick_audit_due(self, mgr: Any) -> bool:
+        sweeps = mgr.perf.gc_sweeps
+        alloc = mgr.num_nodes_allocated
+        seen = self._quick_seen.get(id(mgr))
+        if seen is not None and seen[0] == sweeps and alloc < 2 * seen[1]:
+            return False
+        self._quick_seen[id(mgr)] = (sweeps, max(alloc, 1))
+        return True
+
+    @property
+    def enabled(self) -> bool:
+        return self.level != "off"
+
+    def _effective(self, quick: bool) -> str:
+        return "cheap" if (quick and self.level == "full") else self.level
+
+    def check_bdd(self, mgr: Any, subject: str = "BDD manager",
+                  quick: bool = False) -> None:
+        """Sanitize a manager; raises :class:`CheckError` on violation."""
+        if not self.enabled:
+            return
+        if quick and not self._quick_audit_due(mgr):
+            return
+        from repro.check.bdd_sanitizer import sanitize_bdd
+
+        try:
+            sanitize_bdd(mgr, level=self._effective(quick), subject=subject)
+        except CheckError:
+            self.violations_found += 1
+            raise
+        if not quick:  # a full scan subsumes the next quick audit
+            self._quick_seen[id(mgr)] = (mgr.perf.gc_sweeps,
+                                         max(mgr.num_nodes_allocated, 1))
+
+    def check_network(self, net: Any, subject: str = "network") -> None:
+        """Lint a cube network; raises :class:`CheckError` on violation."""
+        if not self.enabled:
+            return
+        from repro.check.net_lint import lint_network
+
+        self.checks_run += 1
+        try:
+            lint_network(net, level=self.level, subject=subject)
+        except CheckError as exc:
+            self.violations_found += len(exc.report.violations)
+            raise
+
+    def check_partition(self, part: Any, subject: str = "partition",
+                        quick: bool = False) -> None:
+        """Sanitize a partitioned network's manager and (unless ``quick``)
+        lint its signal graph; raises :class:`CheckError` on violation."""
+        if not self.enabled:
+            return
+        self.check_bdd(part.mgr, subject="%s: manager" % subject, quick=quick)
+        if quick:
+            return
+        from repro.check.net_lint import lint_partition
+
+        self.checks_run += 1
+        try:
+            lint_partition(part, level=self.level, subject=subject)
+        except CheckError as exc:
+            self.violations_found += len(exc.report.violations)
+            raise
+
+    def snapshot(self) -> Dict[str, float]:
+        """Network-side counters, shaped for ``repro.perf.merge_snapshots``."""
+        return {"checks_run": float(self.checks_run),
+                "check_violations": float(self.violations_found)}
+
+
+from repro.check.bdd_sanitizer import sanitize_bdd  # noqa: E402
+from repro.check.net_lint import lint_network, lint_partition  # noqa: E402
+
+__all__ = [
+    "CHECK_LEVELS",
+    "CheckError",
+    "CheckReport",
+    "Checker",
+    "Violation",
+    "lint_network",
+    "lint_partition",
+    "sanitize_bdd",
+]

@@ -1,0 +1,441 @@
+"""The BDD manager sanitizer: canonicity and GC-bookkeeping audits.
+
+The decompositions of the paper (simple dominators, Definition 7's
+generalized dominators, Theorem 5's x-dominators) are only sound on a
+*well-formed* complement-edge ROBDD: one canonical node per ``(var, lo,
+hi)`` triple, no redundant nodes, *then* edges never complemented, and
+variables strictly ordered along every edge.  PR 1 made the kernel's
+canonicity depend on mutable state -- refcounted roots, tombstoned
+free-list slots, an overwrite-on-collision computed table -- so this
+module makes each assumption executable.
+
+Two levels:
+
+``cheap``
+    One pass over the node arrays: terminal slot, complement-edge normal
+    form, ``lo != hi`` reduction, edge targets alive and in range,
+    variable-order monotonicity, free-list integrity, root-refcount
+    sanity, var<->level permutation consistency.  O(allocated slots).
+
+``full``
+    Everything above plus: unique-table canonicity (exact bijection with
+    the live slots, hence no duplicate triples), computed-table hygiene
+    (no current-generation entry referencing a tombstoned slot),
+    ``_nodes_by_var`` coverage, tombstone/free-list agreement (every dead
+    slot is reusable), and a reachability recount from the registered
+    roots.  O(allocated slots + cache slots).
+
+On violation a :class:`repro.check.CheckError` is raised carrying every
+finding and a minimized DOT dump of the offending cones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.bdd.manager import BDD, DEAD, ONE, TERMINAL
+from repro.check import CheckError, CheckReport
+
+# Canonical invariant names (stable identifiers; tests assert on these).
+INV_TERMINAL = "terminal_node"
+INV_REDUNDANT = "redundant_node"
+INV_COMPLEMENT = "complement_edge"
+INV_ORDER = "variable_order"
+INV_DANGLING = "dangling_edge"
+INV_UNIQUE = "unique_table"
+INV_FREE_LIST = "free_list"
+INV_TOMBSTONE = "tombstone_leak"
+INV_ROOTS = "root_refcount"
+INV_COMPUTED = "computed_table"
+INV_NODES_BY_VAR = "nodes_by_var"
+INV_VAR_MAPS = "var_order_maps"
+
+#: For each computed-table key tag, the tuple positions holding BDD refs.
+#: Tags: 0=ite, 1=cofactor, 2=compose, 3=vector_compose, 4=exists,
+#: 5=restrict, 6=constrain, 7=and_exists (see the respective modules).
+_TAG_REF_POSITIONS: Dict[int, Tuple[int, ...]] = {
+    0: (1, 2, 3),
+    1: (1,),
+    2: (1, 3),
+    3: (1,),
+    4: (1,),
+    5: (1, 2),
+    6: (1, 2),
+    7: (1, 2),
+}
+
+#: Cap on reported violations per run (a corrupt manager would otherwise
+#: drown the report in thousands of identical findings).
+MAX_VIOLATIONS = 25
+
+#: Cap on nodes rendered into the minimized DOT dump.
+MAX_DOT_NODES = 40
+
+
+def sanitize_bdd(mgr: BDD, level: str = "full", subject: str = "BDD manager",
+                 raise_on_violation: bool = True) -> CheckReport:
+    """Audit ``mgr``; return a :class:`CheckReport`.
+
+    Raises :class:`CheckError` when violations are found and
+    ``raise_on_violation`` is true.  The manager's ``perf`` counters
+    (``checks_run`` / ``check_violations``) are updated either way.
+    """
+    if level not in ("cheap", "full"):
+        raise ValueError("sanitizer level must be 'cheap' or 'full', got %r"
+                         % (level,))
+    report = CheckReport(subject=subject, level=level)
+    _check_var_maps(mgr, report)
+    _check_terminal(mgr, report)
+    free_set = _check_free_list(mgr, report)
+    _check_nodes(mgr, report, free_set)
+    _check_roots(mgr, report)
+    if level == "full":
+        _check_unique_table(mgr, report)
+        _check_computed_table(mgr, report)
+        _check_nodes_by_var(mgr, report)
+        _check_tombstones(mgr, report, free_set)
+        _count_reachable(mgr, report)
+    report.stats["allocated_slots"] = len(mgr._var)
+    report.stats["live_nodes"] = mgr.num_nodes_live
+    mgr.perf.checks_run += 1
+    mgr.perf.check_violations += len(report.violations)
+    if report.violations:
+        report.dot = _cone_dot(mgr, _offending_refs(report))
+        if raise_on_violation:
+            raise CheckError(report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Individual invariant passes
+# ----------------------------------------------------------------------
+
+
+def _full(report: CheckReport) -> bool:
+    """True while the report can still take findings (violation cap)."""
+    return len(report.violations) >= MAX_VIOLATIONS
+
+
+def _check_var_maps(mgr: BDD, report: CheckReport) -> None:
+    """``_var2level`` and ``_level2var`` must be inverse permutations."""
+    v2l, l2v = mgr._var2level, mgr._level2var
+    if len(v2l) != len(l2v):
+        report.add(INV_VAR_MAPS, "var2level and level2var sizes differ "
+                   "(%d vs %d)" % (len(v2l), len(l2v)))
+        return
+    n = len(v2l)
+    for var, lvl in enumerate(v2l):
+        if not 0 <= lvl < n or l2v[lvl] != var:
+            report.add(INV_VAR_MAPS,
+                       "var %d maps to level %r which maps back to %r"
+                       % (var, lvl, l2v[lvl] if 0 <= lvl < n else None))
+            return
+
+
+def _check_terminal(mgr: BDD, report: CheckReport) -> None:
+    """Slot 0 is the one terminal: var TERMINAL, both children ONE."""
+    if not mgr._var or mgr._var[0] != TERMINAL:
+        report.add(INV_TERMINAL, "slot 0 is not the terminal node", refs=(0,))
+    elif mgr._lo[0] != ONE or mgr._hi[0] != ONE:
+        report.add(INV_TERMINAL,
+                   "terminal children corrupted (lo=%d hi=%d)"
+                   % (mgr._lo[0], mgr._hi[0]), refs=(0,))
+
+
+def _check_free_list(mgr: BDD, report: CheckReport) -> Set[int]:
+    """Free-list integrity: in-range, tombstoned, duplicate-free."""
+    n = len(mgr._var)
+    free_set: Set[int] = set()
+    for idx in mgr._free:
+        if not 0 < idx < n:
+            report.add(INV_FREE_LIST,
+                       "free-list slot %d out of range (arrays hold %d)"
+                       % (idx, n), refs=(idx,))
+            continue
+        if idx in free_set:
+            report.add(INV_FREE_LIST, "slot %d on the free list twice" % idx,
+                       refs=(idx,))
+        free_set.add(idx)
+        if mgr._var[idx] != DEAD:
+            report.add(INV_FREE_LIST,
+                       "live slot %d (var %d) is on the free list"
+                       % (idx, mgr._var[idx]), refs=(idx << 1,))
+    return free_set
+
+
+def _check_nodes(mgr: BDD, report: CheckReport, free_set: Set[int]) -> None:
+    """Per-node structural audit (the cheap O(slots) core)."""
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    v2l = mgr._var2level
+    nvars = mgr.num_vars
+    n = len(var_arr)
+    for idx in range(1, n):
+        if _full(report):
+            return
+        var = var_arr[idx]
+        if var == DEAD:
+            continue
+        ref = idx << 1
+        if not 0 <= var < nvars:
+            report.add(INV_DANGLING,
+                       "slot %d labelled with invalid variable id %d"
+                       % (idx, var), refs=(ref,))
+            continue
+        lo, hi = lo_arr[idx], hi_arr[idx]
+        if hi & 1:
+            report.add(INV_COMPLEMENT,
+                       "slot %d stores a complemented then-edge (hi=%d)"
+                       % (idx, hi), refs=(ref,))
+        if lo == hi:
+            report.add(INV_REDUNDANT,
+                       "slot %d is redundant (lo == hi == %d)" % (idx, lo),
+                       refs=(ref,))
+        level = v2l[var]
+        for edge_name, child in (("lo", lo), ("hi", hi)):
+            cidx = child >> 1
+            if not 0 <= cidx < n:
+                report.add(INV_DANGLING,
+                           "slot %d %s-edge targets out-of-range slot %d"
+                           % (idx, edge_name, cidx), refs=(ref, child))
+                continue
+            cvar = var_arr[cidx]
+            if cidx and cvar == DEAD:
+                report.add(INV_DANGLING,
+                           "slot %d %s-edge targets tombstoned slot %d"
+                           % (idx, edge_name, cidx), refs=(ref, child))
+                continue
+            if cidx and 0 <= cvar < nvars and v2l[cvar] <= level:
+                report.add(INV_ORDER,
+                           "slot %d (var %s, level %d) %s-edge reaches var %s"
+                           " at level %d (order must strictly increase)"
+                           % (idx, mgr.var_name(var), level, edge_name,
+                              mgr.var_name(cvar), v2l[cvar]),
+                           refs=(ref, child))
+
+
+def _check_roots(mgr: BDD, report: CheckReport) -> None:
+    """Registered roots: positive refcounts pointing at live slots."""
+    n = len(mgr._var)
+    for ref, count in mgr._roots.items():
+        if _full(report):
+            return
+        if count <= 0:
+            report.add(INV_ROOTS,
+                       "root ref %d has non-positive refcount %d"
+                       % (ref, count), refs=(ref,))
+        idx = ref >> 1
+        if not 0 <= idx < n:
+            report.add(INV_ROOTS, "root ref %d targets out-of-range slot %d"
+                       % (ref, idx), refs=(ref,))
+        elif idx and mgr._var[idx] == DEAD:
+            report.add(INV_ROOTS, "root ref %d targets tombstoned slot %d"
+                       % (ref, idx), refs=(ref,))
+
+
+def _check_unique_table(mgr: BDD, report: CheckReport) -> None:
+    """The unique table must be an exact bijection with the live slots.
+
+    Both directions matter: a live slot missing from the table lets ``mk``
+    allocate a duplicate triple (breaking canonicity silently), while a
+    table entry for a dead or mismatched slot resurrects garbage.
+    """
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    unique = mgr._unique
+    n = len(var_arr)
+    live = 0
+    for idx in range(1, n):
+        if _full(report):
+            return
+        var = var_arr[idx]
+        if var == DEAD:
+            continue
+        live += 1
+        key = (var, lo_arr[idx], hi_arr[idx])
+        mapped = unique.get(key)
+        if mapped != idx:
+            if mapped is None:
+                report.add(INV_UNIQUE,
+                           "live slot %d triple %r missing from the unique"
+                           " table" % (idx, key), refs=(idx << 1,))
+            else:
+                report.add(INV_UNIQUE,
+                           "duplicate triple %r: slots %d and %d both live"
+                           % (key, idx, mapped), refs=(idx << 1, mapped << 1))
+    extra = len(unique) - live
+    if extra > 0 and not _full(report):
+        stale = [(k, i) for k, i in unique.items()
+                 if not (0 < i < n) or var_arr[i] == DEAD
+                 or (var_arr[i], lo_arr[i], hi_arr[i]) != k]
+        for key, idx in stale[:5]:
+            report.add(INV_UNIQUE,
+                       "unique-table entry %r -> slot %d does not match a"
+                       " live node" % (key, idx),
+                       refs=(idx << 1,) if 0 <= idx < n else ())
+        if not stale:
+            report.add(INV_UNIQUE,
+                       "unique table holds %d more entries than live nodes"
+                       % extra)
+
+
+def _check_computed_table(mgr: BDD, report: CheckReport) -> None:
+    """No current-generation cache entry may reference a tombstoned slot.
+
+    Stale entries are *expected* after GC bumps the generation; only
+    entries the kernel would still serve (``s[2] == gen``) are audited.
+    """
+    cache = mgr._cache
+    var_arr = mgr._var
+    n = len(var_arr)
+    gen = cache.gen
+
+    def dead(ref: Any) -> bool:
+        if not isinstance(ref, int):
+            return True
+        idx = ref >> 1
+        return not 0 <= idx < n or (idx and var_arr[idx] == DEAD)
+
+    for slot_no, s in enumerate(cache.slots):
+        if _full(report):
+            return
+        if s is None or s[2] != gen:
+            continue
+        key, result = s[0], s[1]
+        if dead(result):
+            report.add(INV_COMPUTED,
+                       "cache slot %d result ref %r is dead or out of range"
+                       " (key=%r)" % (slot_no, result, key),
+                       refs=(result,) if isinstance(result, int) else ())
+            continue
+        if isinstance(key, tuple) and key and isinstance(key[0], int):
+            for pos in _TAG_REF_POSITIONS.get(key[0], ()):
+                if pos < len(key) and dead(key[pos]):
+                    report.add(INV_COMPUTED,
+                               "cache slot %d key %r references dead ref at"
+                               " position %d" % (slot_no, key, pos),
+                               refs=(key[pos],)
+                               if isinstance(key[pos], int) else ())
+                    break
+
+
+def _check_nodes_by_var(mgr: BDD, report: CheckReport) -> None:
+    """Every live node must appear in its variable's bucket.
+
+    Stale (dead or re-labelled) entries in a bucket are tolerated by
+    design -- consumers re-check ``_var`` -- but a *missing* live entry
+    would hide the node from reordering forever.
+    """
+    buckets: Dict[int, Set[int]] = {
+        var: set(nodes) for var, nodes in mgr._nodes_by_var.items()}
+    var_arr = mgr._var
+    for idx in range(1, len(var_arr)):
+        if _full(report):
+            return
+        var = var_arr[idx]
+        if var == DEAD:
+            continue
+        if idx not in buckets.get(var, set()):
+            report.add(INV_NODES_BY_VAR,
+                       "live slot %d missing from _nodes_by_var[%d]"
+                       % (idx, var), refs=(idx << 1,))
+
+
+def _check_tombstones(mgr: BDD, report: CheckReport,
+                      free_set: Set[int]) -> None:
+    """Tombstone/free-list agreement: every dead slot is reusable.
+
+    Only valid at GC safe points: ``swap_adjacent`` legitimately
+    tombstones dead nodes mid-sift and the following ``collect_garbage``
+    reclaims them, which is why this is a *full*-level check run at pass
+    boundaries, not inside reordering.
+    """
+    var_arr = mgr._var
+    for idx in range(1, len(var_arr)):
+        if _full(report):
+            return
+        if var_arr[idx] == DEAD and idx not in free_set:
+            report.add(INV_TOMBSTONE,
+                       "tombstoned slot %d is not on the free list"
+                       " (leaked until the next sweep)" % idx, refs=(idx,))
+
+
+def _count_reachable(mgr: BDD, report: CheckReport) -> None:
+    """Recount reachability from the registered roots (refcount audit).
+
+    With live edges already verified to target live slots, every node
+    reachable from a live root is live; the recount feeds the report's
+    stats so callers can compare against ``num_nodes_live``.
+    """
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    n = len(var_arr)
+    seen: Set[int] = {0}
+    stack = [r >> 1 for r in mgr._roots if 0 <= r >> 1 < n]
+    while stack:
+        idx = stack.pop()
+        if idx in seen or var_arr[idx] == DEAD:
+            continue
+        seen.add(idx)
+        stack.append(lo_arr[idx] >> 1)
+        stack.append(hi_arr[idx] >> 1)
+    report.stats["reachable_from_roots"] = len(seen) - 1
+
+
+# ----------------------------------------------------------------------
+# Minimized DOT dump of the offending region
+# ----------------------------------------------------------------------
+
+
+def _offending_refs(report: CheckReport) -> List[int]:
+    out: List[int] = []
+    for v in report.violations:
+        for ref in v.refs:
+            if ref not in out:
+                out.append(ref)
+    return out
+
+
+def _cone_dot(mgr: BDD, refs: List[int], max_nodes: int = MAX_DOT_NODES) -> str:
+    """Tolerant DOT render of the cones under the offending refs.
+
+    Unlike :func:`repro.bdd.dot.to_dot` this survives tombstoned slots,
+    out-of-range edges and invalid variable ids -- the corruption being
+    reported is exactly what a pretty-printer would choke on.  The dump is
+    truncated at ``max_nodes`` nodes to stay attachable to a bug report.
+    """
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    n = len(var_arr)
+    lines = ["digraph bdd_check {", "  rankdir=TB;",
+             '  n0 [shape=box,label="1"];']
+    seen: Set[int] = set()
+    stack: List[int] = []
+    for i, ref in enumerate(refs):
+        lines.append('  "v%d" [shape=plaintext,label="violation %d"];'
+                     % (i, i))
+        style = "dotted" if ref & 1 else "solid"
+        lines.append('  "v%d" -> n%d [style=%s];' % (i, ref >> 1, style))
+        stack.append(ref >> 1)
+    while stack and len(seen) < max_nodes:
+        idx = stack.pop()
+        if idx in seen or idx == 0:
+            continue
+        seen.add(idx)
+        if not 0 <= idx < n:
+            lines.append('  n%d [shape=octagon,label="out of range"];' % idx)
+            continue
+        var = var_arr[idx]
+        if var == DEAD:
+            lines.append('  n%d [shape=octagon,label="DEAD slot %d"];'
+                         % (idx, idx))
+            continue
+        if 0 <= var < mgr.num_vars:
+            label = mgr.var_name(var)
+        else:
+            label = "var?%d" % var
+        lines.append('  n%d [shape=circle,label="%s"];' % (idx, label))
+        lo, hi = lo_arr[idx], hi_arr[idx]
+        lo_style = "dotted" if lo & 1 else "dashed"
+        lines.append('  n%d -> n%d [style=%s];' % (idx, lo >> 1, lo_style))
+        lines.append('  n%d -> n%d [style=solid];' % (idx, hi >> 1))
+        stack.append(lo >> 1)
+        stack.append(hi >> 1)
+    lines.append("}")
+    return "\n".join(lines)

@@ -8,7 +8,7 @@ these circuits) would emit.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.network.network import Network
 

@@ -9,7 +9,7 @@ makes every named benchmark reproducible across runs.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from repro.network.network import Network
 from repro.sop.cube import lit

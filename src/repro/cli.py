@@ -3,9 +3,10 @@
 Mirrors how BDS itself was used as a tool::
 
     python -m repro.cli optimize input.blif -o output.blif [--flow bds|sis]
-        [--verify] [--map | --lut K] [--balance] [--stats]
+        [--verify] [--map | --lut K] [--balance] [--stats] [--check LEVEL]
     python -m repro.cli generate bshift32 -o bshift32.blif
     python -m repro.cli verify a.blif b.blif
+    python -m repro.cli check input.blif [--level cheap|full]
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import sys
 import time
 
 from repro.bds import BDSOptions, bds_optimize
+from repro.check import lint_network
 from repro.circuits import build_circuit
 from repro.mapping import map_network
 from repro.mapping.lut import map_luts
@@ -28,7 +30,8 @@ def _cmd_optimize(args) -> int:
         net = parse_blif(fh.read())
     t0 = time.perf_counter()
     if args.flow == "bds":
-        options = BDSOptions(balance_trees=args.balance)
+        options = BDSOptions(balance_trees=args.balance,
+                             check_level=args.check)
         result = bds_optimize(net, options)
         optimized = result.network
         if args.stats:
@@ -97,6 +100,30 @@ def _cmd_verify(args) -> int:
     return 1
 
 
+def _cmd_check(args) -> int:
+    """Lint a BLIF netlist; exit 1 on violations, 2 on parse errors."""
+    with open(args.input) as fh:
+        text = fh.read()
+    try:
+        net = parse_blif(text, validate=False)
+    except ValueError as exc:
+        print("%s: PARSE ERROR: %s" % (args.input, exc), file=sys.stderr)
+        return 2
+    report = lint_network(net, level=args.level, subject=args.input,
+                          raise_on_violation=False)
+    if report.violations:
+        for v in report.violations:
+            print("%s: %s" % (args.input, v), file=sys.stderr)
+        print("%s: FAILED -- %d violation(s) of %s"
+              % (args.input, len(report.violations),
+                 ", ".join(report.invariants())), file=sys.stderr)
+        return 1
+    print("%s: clean (%d nodes, %d outputs, %s lint)"
+          % (args.input, report.stats.get("nodes", 0),
+             report.stats.get("outputs", 0), args.level))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="BDS reproduction CLI")
@@ -114,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--balance", action="store_true",
                        help="balance factoring trees (delay)")
     p_opt.add_argument("--stats", action="store_true")
+    p_opt.add_argument("--check", choices=["off", "cheap", "full"],
+                       default="off",
+                       help="run the BDD/network invariant sanitizer at "
+                            "flow safe points")
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_gen = sub.add_parser("generate", help="emit a benchmark circuit")
@@ -125,6 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver.add_argument("a")
     p_ver.add_argument("b")
     p_ver.set_defaults(func=_cmd_verify)
+
+    p_chk = sub.add_parser("check", help="lint a BLIF netlist for "
+                                         "structural violations")
+    p_chk.add_argument("input")
+    p_chk.add_argument("--level", choices=["cheap", "full"], default="full")
+    p_chk.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -14,8 +14,8 @@ factoring-tree object -- the first layer of sharing extraction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.bdd.manager import BDD, ONE, ZERO
 from repro.bdd.traverse import live_node_count, node_count

@@ -17,8 +17,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.bdd.manager import BDD, ONE, TERMINAL, ZERO
-from repro.bdd.traverse import phased_vertices, support
+from repro.bdd.manager import BDD, ONE, ZERO
+from repro.bdd.traverse import phased_vertices
 from repro.decomp.cuts import rebuild_above_cut
 
 

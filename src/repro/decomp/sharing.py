@@ -12,7 +12,7 @@ and MUX nodes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.bdd import BDD
 from repro.decomp.ftree import CONST0, CONST1, FTree, negate

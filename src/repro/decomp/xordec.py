@@ -19,7 +19,6 @@ from __future__ import annotations
 from typing import List, NamedTuple, Set
 
 from repro.bdd.manager import BDD, ONE, ZERO
-from repro.bdd.traverse import node_count
 from repro.decomp.cuts import substitute_vertices
 
 

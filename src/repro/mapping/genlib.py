@@ -13,7 +13,7 @@ an identity check.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.sop.cube import lit
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.mapping.genlib import Cell, Library
 from repro.sop.cube import lit

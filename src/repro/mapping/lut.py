@@ -18,8 +18,8 @@ truth tables, so it can be verified like any other netlist.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.mapping.subject import SubjectGraph, build_subject
 from repro.network.network import Network

@@ -8,7 +8,7 @@ the experiment tables, exposed for downstream use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.mapping.mapper import MappedGate, MappingResult
 

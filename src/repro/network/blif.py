@@ -10,8 +10,14 @@ from repro.network.network import Network
 from repro.sop.cube import lit
 
 
-def parse_blif(text: str) -> Network:
-    """Parse a BLIF model into a :class:`Network`."""
+def parse_blif(text: str, validate: bool = True) -> Network:
+    """Parse a BLIF model into a :class:`Network`.
+
+    ``validate=False`` skips the structural :meth:`Network.check` after
+    parsing, so that diagnostics tools (``repro check``) can lint broken
+    netlists -- dangling fanins, cycles -- instead of dying on the first
+    inconsistency.
+    """
     lines = _logical_lines(text)
     net = Network()
     i = 0
@@ -71,7 +77,8 @@ def parse_blif(text: str) -> Network:
                     raise ValueError("bad cover character %r" % ch)
             current_cover.append(frozenset(cube))
     flush_names()
-    net.check()
+    if validate:
+        net.check()
     return net
 
 

@@ -9,9 +9,9 @@ needs cones and maximum fanout-free cones (MFFCs).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
-from repro.network.network import Network, Node
+from repro.network.network import Network
 from repro.sop.cube import lit
 
 

@@ -15,7 +15,7 @@ Two variants, mirroring Fig. 12:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.bdd import BDD, ONE, ZERO, transfer_many
 from repro.bdd.isop import isop
@@ -23,6 +23,9 @@ from repro.bdd.traverse import node_count, shared_node_count, support
 from repro.network.network import Network, Node
 from repro.sop.cover import Cover, complement, remove_contained
 from repro.sop.cube import cube_and, lit
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (avoids import cycle)
+    from repro.check import Checker
 
 # ----------------------------------------------------------------------
 # SIS-style (cube domain)
@@ -225,12 +228,18 @@ class PartitionedNetwork:
 
     def eliminate(self, threshold: int = 0, size_cap: int = 1000,
                   use_mapping: bool = True, mapping_trigger: float = 0.5,
-                  max_passes: int = 20) -> None:
+                  max_passes: int = 20,
+                  checker: Optional["Checker"] = None) -> None:
         """Iteratively collapse low-value nodes into their fanouts.
 
         A node is eliminated when the change in total BDD node count is at
         most ``threshold`` and no merged fanout BDD exceeds ``size_cap``
         (the paper's collapse threshold keeping supernodes tractable).
+
+        ``checker`` (a :class:`repro.check.Checker`) runs the BDD
+        sanitizer at the loop's GC safe points: a quick per-collapse audit
+        right after ``maybe_collect`` and a full partition lint at every
+        pass boundary and after each BDD-mapping compaction.
         """
         mgr = self.mgr
         for _ in range(max_passes):
@@ -274,10 +283,18 @@ class PartitionedNetwork:
                 # Dead-node sweep at a safe point: the collapse is merged,
                 # so self.refs is the complete live root set.
                 mgr.maybe_collect(self.refs.values())
+                if checker is not None:
+                    checker.check_partition(self, "eliminate collapse",
+                                            quick=True)
                 if use_mapping and self._pollution() > mapping_trigger:
                     self.compact()
                     mgr = self.mgr
                     fanouts = self.fanouts()
+                    if checker is not None:
+                        checker.check_partition(self, "after BDD mapping",
+                                                quick=True)
+            if checker is not None:
+                checker.check_partition(self, "eliminate pass boundary")
             if not changed:
                 break
         self.remove_dangling()

@@ -9,7 +9,7 @@ are names that must resolve to a PI or a node.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sop.cover import (
     Cover,

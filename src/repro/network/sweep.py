@@ -11,10 +11,10 @@ advantage.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.network import Network, Node
-from repro.sop.cover import cover_cofactor, cover_support
+from repro.sop.cover import cover_cofactor
 from repro.sop.cube import lit
 
 

@@ -14,7 +14,7 @@ See ``docs/PERFORMANCE.md`` for how to read the numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 
 @dataclass
@@ -28,6 +28,8 @@ class PerfCounters:
     gc_reclaimed: int = 0         # nodes tombstoned across all sweeps
     peak_live_nodes: int = 0      # max live count observed (at GC/snapshot)
     peak_allocated_nodes: int = 0  # max node-array length observed
+    checks_run: int = 0           # sanitizer audits of this manager
+    check_violations: int = 0     # invariant violations those audits found
 
     def observe_live(self, live: int) -> None:
         if live > self.peak_live_nodes:

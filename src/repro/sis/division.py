@@ -8,7 +8,7 @@ divisor and intersect the partial quotients.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.sop.cover import Cover
 from repro.sop.cube import Cube

@@ -11,7 +11,7 @@ recurse on quotient, divisor and remainder.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.decomp.ftree import CONST0, CONST1, FTree, negate, op2, var_leaf
 from repro.sis.division import algebraic_divide, largest_common_cube, make_cube_free

@@ -11,9 +11,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.network.network import Network, Node
-from repro.sis.division import algebraic_divide, make_cube_free
-from repro.sop.cover import Cover, literal_count, remove_contained
-from repro.sop.cube import Cube, lit
+from repro.sop.cover import Cover, remove_contained
+from repro.sop.cube import lit
 
 
 def fast_extract(net: Network, max_rounds: int = 200,

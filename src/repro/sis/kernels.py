@@ -10,8 +10,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.sis.division import divide_by_cube, largest_common_cube, make_cube_free
-from repro.sop.cover import Cover, cover_support
-from repro.sop.cube import Cube, lit
+from repro.sop.cover import Cover
+from repro.sop.cube import Cube
 
 
 def all_kernels(cover: Cover, include_trivial: bool = True

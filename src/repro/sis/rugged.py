@@ -23,7 +23,7 @@ covers, matching the algebraic methodology BDS is benchmarked against.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.network import Network, eliminate_literal, sweep

@@ -9,7 +9,7 @@ with an optional don't-care cover.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.sop.cover import (
     ComplementTooLarge,

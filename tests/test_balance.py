@@ -6,9 +6,8 @@ import random
 import pytest
 
 from repro.bds import BDSOptions, bds_optimize
-from repro.circuits import parity_tree
 from repro.decomp.balance import balance_forest, balance_tree
-from repro.decomp.ftree import FTree, mux, negate, op2, var_leaf
+from repro.decomp.ftree import mux, negate, op2, var_leaf
 from repro.network import Network
 from repro.verify import check_equivalence
 

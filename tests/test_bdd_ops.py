@@ -1,12 +1,10 @@
 """Tests for the higher-order BDD operators and the delay-mode mapper."""
 
-import itertools
 import random
 
 import pytest
 
 from repro.bdd import BDD, ONE, ZERO, and_exists, rename_vars, swap_vars
-from repro.bdd.traverse import evaluate
 from repro.mapping import map_network
 
 

@@ -8,9 +8,8 @@ behaviour under randomized reordering.
 import itertools
 import random
 
-import pytest
 
-from repro.bdd import BDD, ONE, ZERO, transfer, transfer_many
+from repro.bdd import BDD, ZERO, transfer, transfer_many
 from repro.bdd.reorder import (
     force_order,
     move_var_to_level,

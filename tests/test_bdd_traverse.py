@@ -18,7 +18,6 @@ from repro.bdd.traverse import (
     pick_assignment,
     sat_count,
     shared_node_count,
-    support,
     support_many,
 )
 

@@ -1,6 +1,5 @@
 """Integration tests: the full BDS flow on small circuits + verification."""
 
-import itertools
 import random
 
 import pytest

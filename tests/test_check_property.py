@@ -1,0 +1,100 @@
+"""Property test: random operator/GC interleavings keep the manager clean.
+
+Hypothesis drives a random sequence of kernel operations (ite, xor,
+compose, negation) interleaved with explicit garbage collections against a
+deliberately tiny computed table (to force evictions and resizes).  After
+the sequence the manager must (a) pass the full sanitizer and (b) be
+extensionally equivalent to a fresh manager that replayed the same
+operations without any GC -- i.e. collection and cache pressure must never
+change what a ref denotes.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD
+from repro.bdd.traverse import evaluate
+from repro.check import sanitize_bdd
+
+NVARS = 4
+
+_op = st.one_of(
+    st.tuples(st.just("ite"), st.integers(0, 99), st.integers(0, 99),
+              st.integers(0, 99)),
+    st.tuples(st.just("xor"), st.integers(0, 99), st.integers(0, 99)),
+    st.tuples(st.just("compose"), st.integers(0, 99), st.integers(0, 99),
+              st.integers(0, 99)),
+    st.tuples(st.just("not"), st.integers(0, 99)),
+    st.tuples(st.just("collect")),
+)
+
+
+def _apply(mgr, ops, do_collect):
+    """Replay ``ops``; returns the function list (every ref registered)."""
+    variables = [mgr.new_var("x%d" % i) for i in range(NVARS)]
+    funcs = [mgr.register_root(mgr.var_ref(v)) for v in variables]
+    for op in ops:
+        kind = op[0]
+        if kind == "collect":
+            if do_collect:
+                mgr.collect_garbage()
+            continue
+        if kind == "ite":
+            _, a, b, c = op
+            n = len(funcs)
+            out = mgr.ite(funcs[a % n], funcs[b % n], funcs[c % n])
+        elif kind == "xor":
+            _, a, b = op
+            n = len(funcs)
+            out = mgr.xor_(funcs[a % n], funcs[b % n])
+        elif kind == "compose":
+            _, a, v, b = op
+            n = len(funcs)
+            out = mgr.compose(funcs[a % n], variables[v % NVARS],
+                              funcs[b % n])
+        else:  # not
+            out = funcs[op[1] % len(funcs)] ^ 1
+        funcs.append(mgr.register_root(out))
+    return variables, funcs
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_op, max_size=30))
+def test_ops_with_gc_stay_clean_and_equivalent(ops):
+    # Tiny cache: every collision evicts, every clear() invalidates a lot.
+    stressed = BDD(cache_slots=16, cache_max_slots=64)
+    svars, sfuncs = _apply(stressed, ops, do_collect=True)
+    stressed.collect_garbage()
+
+    report = sanitize_bdd(stressed, level="full")
+    assert report.ok
+
+    # Replay in a pristine manager with no GC and a default-size cache.
+    fresh = BDD()
+    fvars, ffuncs = _apply(fresh, ops, do_collect=False)
+    assert len(sfuncs) == len(ffuncs)
+    for values in itertools.product([False, True], repeat=NVARS):
+        s_assign = dict(zip(svars, values))
+        f_assign = dict(zip(fvars, values))
+        for sf, ff in zip(sfuncs, ffuncs):
+            assert (evaluate(stressed, sf, s_assign)
+                    == evaluate(fresh, ff, f_assign))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(_op, max_size=20))
+def test_maybe_collect_safe_points_stay_clean(ops):
+    """Same property with the adaptive trigger instead of forced sweeps."""
+    mgr = BDD(cache_slots=16, cache_max_slots=64)
+    mgr._gc_min_trigger = mgr._gc_trigger = 8  # make auto-GC actually fire
+    variables, funcs = _apply(mgr, ops, do_collect=False)
+    mgr.maybe_collect()
+    assert sanitize_bdd(mgr, level="full").ok
+    # After an unconditional sweep the live count must match a recount of
+    # what the registered roots actually reach.
+    mgr.collect_garbage()
+    report = sanitize_bdd(mgr, level="full")
+    assert report.ok
+    assert report.stats["reachable_from_roots"] == mgr.num_nodes_live

@@ -1,0 +1,190 @@
+"""Mutation tests for the BDD sanitizer: seed one corruption, assert the
+sanitizer names the violated invariant.
+
+Each test manufactures exactly the inconsistency a kernel bug would leave
+behind (duplicate unique-table triple, stale computed-table entry,
+order-violating edge, ...) by editing the manager's internals directly,
+then checks that ``sanitize_bdd`` raises a :class:`CheckError` whose
+``invariants`` list contains the right canonical name.
+"""
+
+import pytest
+
+from repro.bdd import BDD, ONE, ZERO
+from repro.bdd.manager import DEAD
+from repro.check import CheckError, sanitize_bdd
+from repro.check.bdd_sanitizer import (
+    INV_COMPLEMENT,
+    INV_COMPUTED,
+    INV_DANGLING,
+    INV_FREE_LIST,
+    INV_NODES_BY_VAR,
+    INV_ORDER,
+    INV_REDUNDANT,
+    INV_ROOTS,
+    INV_TERMINAL,
+    INV_TOMBSTONE,
+    INV_UNIQUE,
+    INV_VAR_MAPS,
+)
+
+
+def small_mgr():
+    """A manager with three vars and two registered root functions."""
+    mgr = BDD()
+    a, b, c = mgr.add_vars(["a", "b", "c"])
+    f = mgr.register_root(mgr.and_(mgr.var_ref(a), mgr.var_ref(b)))
+    g = mgr.register_root(mgr.or_(f, mgr.var_ref(c)))
+    return mgr, (a, b, c), (f, g)
+
+
+def expect_invariant(mgr, invariant, level="full"):
+    with pytest.raises(CheckError) as excinfo:
+        sanitize_bdd(mgr, level=level)
+    err = excinfo.value
+    assert invariant in err.invariants, (
+        "expected %r among %r" % (invariant, err.invariants))
+    return err
+
+
+def test_clean_manager_passes_both_levels():
+    mgr, _, _ = small_mgr()
+    for level in ("cheap", "full"):
+        report = sanitize_bdd(mgr, level=level)
+        assert report.ok
+        assert report.invariants() == []
+    assert mgr.perf.checks_run == 2
+    assert mgr.perf.check_violations == 0
+
+
+def test_clean_after_ops_and_gc():
+    mgr, (a, b, c), (f, g) = small_mgr()
+    h = mgr.register_root(mgr.xor_(f, g))
+    mgr.compose(h, c, f)
+    mgr.collect_garbage()
+    report = sanitize_bdd(mgr, level="full")
+    assert report.ok
+    assert report.stats["reachable_from_roots"] == mgr.num_nodes_live
+
+
+def test_invalid_level_rejected():
+    mgr, _, _ = small_mgr()
+    with pytest.raises(ValueError):
+        sanitize_bdd(mgr, level="paranoid")
+
+
+def test_duplicate_unique_triple():
+    mgr, _, (f, _) = small_mgr()
+    idx = f >> 1
+    dup = len(mgr._var)
+    mgr._var.append(mgr._var[idx])
+    mgr._lo.append(mgr._lo[idx])
+    mgr._hi.append(mgr._hi[idx])
+    mgr._nodes_by_var[mgr._var[idx]].append(dup)
+    err = expect_invariant(mgr, INV_UNIQUE)
+    # Both slots of the duplicated triple are reported.
+    refs = {r for v in err.report.violations for r in v.refs}
+    assert (idx << 1) in refs and (dup << 1) in refs
+
+
+def test_stale_computed_table_entry():
+    mgr, (a, b, c), _ = small_mgr()
+    tmp = mgr.and_(mgr.var_ref(b), mgr.var_ref(c))  # unregistered
+    mgr.collect_garbage()  # tombstones tmp's node, clears the cache
+    # A cache entry the kernel would still serve, pointing at the tombstone.
+    mgr._cache.insert((0, tmp, ONE, ZERO), tmp)
+    expect_invariant(mgr, INV_COMPUTED)
+    # Cheap level skips the cache scan by design.
+    report = sanitize_bdd(mgr, level="cheap")
+    assert report.ok
+
+
+def test_order_violating_edge():
+    mgr = BDD()
+    a, b = mgr.add_vars(["a", "b"])
+    bad = mgr._mk_raw(b, mgr.var_ref(a), ONE)  # b (level 1) above a (level 0)
+    mgr.register_root(bad)
+    expect_invariant(mgr, INV_ORDER, level="cheap")
+
+
+def test_redundant_node():
+    mgr, (a, _, _), _ = small_mgr()
+    mgr.register_root(mgr._mk_raw(a, ONE, ONE))
+    expect_invariant(mgr, INV_REDUNDANT, level="cheap")
+
+
+def test_complemented_then_edge():
+    mgr, (a, _, _), _ = small_mgr()
+    idx = len(mgr._var)
+    mgr._var.append(a)
+    mgr._lo.append(ONE)
+    mgr._hi.append(ZERO)  # stored hi edges must never be complemented
+    mgr._unique[(a, ONE, ZERO)] = idx
+    mgr._nodes_by_var[a].append(idx)
+    expect_invariant(mgr, INV_COMPLEMENT, level="cheap")
+
+
+def test_dangling_edge():
+    mgr, (_, _, c), _ = small_mgr()
+    idx = len(mgr._var)
+    mgr._var.append(c)
+    mgr._lo.append(999 << 1)  # out-of-range child
+    mgr._hi.append(ONE)
+    mgr._unique[(c, 999 << 1, ONE)] = idx
+    mgr._nodes_by_var[c].append(idx)
+    err = expect_invariant(mgr, INV_DANGLING, level="cheap")
+    assert err.dot  # the minimized dump renders despite the corruption
+
+
+def test_live_slot_on_free_list():
+    mgr, _, (f, _) = small_mgr()
+    mgr._free.append(f >> 1)
+    expect_invariant(mgr, INV_FREE_LIST, level="cheap")
+
+
+def test_nonpositive_root_refcount():
+    mgr, _, (f, _) = small_mgr()
+    mgr._roots[f] = 0
+    expect_invariant(mgr, INV_ROOTS, level="cheap")
+
+
+def test_tombstone_leak_is_full_level_only():
+    mgr, _, (f, g) = small_mgr()
+    idx = g >> 1
+    mgr.deregister_root(g)
+    del mgr._unique[(mgr._var[idx], mgr._lo[idx], mgr._hi[idx])]
+    mgr._var[idx] = DEAD  # tombstoned but never pushed onto the free list
+    # Cheap must tolerate this: swap_adjacent legitimately leaves such
+    # slots behind mid-sift (reclaimed at the next GC safe point).
+    assert sanitize_bdd(mgr, level="cheap").ok
+    expect_invariant(mgr, INV_TOMBSTONE, level="full")
+
+
+def test_missing_nodes_by_var_entry():
+    mgr, (a, _, _), _ = small_mgr()
+    mgr._nodes_by_var[a] = []
+    expect_invariant(mgr, INV_NODES_BY_VAR, level="full")
+
+
+def test_corrupt_terminal_slot():
+    mgr, _, _ = small_mgr()
+    mgr._lo[0] = ZERO
+    expect_invariant(mgr, INV_TERMINAL, level="cheap")
+
+
+def test_corrupt_var_level_maps():
+    mgr, (a, b, _), _ = small_mgr()
+    mgr._var2level[a] = mgr._var2level[b]
+    expect_invariant(mgr, INV_VAR_MAPS, level="cheap")
+
+
+def test_violation_counters_and_report_shape():
+    mgr, _, (f, _) = small_mgr()
+    mgr._roots[f] = -1
+    before = mgr.perf.check_violations
+    report = sanitize_bdd(mgr, raise_on_violation=False)
+    assert not report.ok
+    assert mgr.perf.check_violations > before
+    # Formatting mentions the subject and each violation's invariant.
+    text = report.format()
+    assert "BDD manager" in text and INV_ROOTS in text

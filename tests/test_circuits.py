@@ -1,6 +1,5 @@
 """Tests for the benchmark circuit generators (functional correctness)."""
 
-import itertools
 import random
 
 import pytest

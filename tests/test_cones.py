@@ -2,7 +2,6 @@
 
 import itertools
 
-import pytest
 
 from repro.circuits import parity_tree, ripple_adder
 from repro.network import Network

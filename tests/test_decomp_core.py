@@ -8,7 +8,7 @@ import pytest
 from repro.bdd import BDD, ONE, ZERO
 from repro.bdd.traverse import node_count
 from repro.decomp import DecompOptions, decompose
-from repro.decomp.cuts import Cut, cut_signatures, enumerate_cuts, rebuild_above_cut
+from repro.decomp.cuts import cut_signatures, enumerate_cuts, rebuild_above_cut
 from repro.decomp.dominators import find_simple_decompositions, verify_simple
 from repro.decomp.engine import DecompStats
 from repro.decomp.ftree import (

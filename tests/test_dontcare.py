@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.bdd.traverse import node_count, support
 from repro.bds import BDSOptions, bds_optimize

@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 
 from repro.sop.cover import cover_eval, literal_count
 from repro.sop.cube import lit

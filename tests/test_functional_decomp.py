@@ -1,12 +1,11 @@
 """Tests for classical Ashenhurst-Curtis functional decomposition."""
 
-import itertools
 import random
 
 import pytest
 
 from repro.bdd import BDD, ONE, ZERO
-from repro.bdd.traverse import evaluate, support
+from repro.bdd.traverse import support
 from repro.decomp.functional import (
     best_bound_level,
     column_multiplicity,

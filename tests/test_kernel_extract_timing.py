@@ -1,6 +1,5 @@
 """Tests for kernel-intersection extraction and static timing analysis."""
 
-import itertools
 import random
 
 import pytest

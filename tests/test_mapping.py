@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 
 from repro.mapping import map_network, mcnc_library
 from repro.mapping.genlib import pattern_placeholders

@@ -3,12 +3,11 @@ export, verifier caps and mismatches, eliminate corner cases, decomposition
 option knobs, and transfer error handling."""
 
 import itertools
-import random
 
 import pytest
 
 from repro.bdd import BDD, ONE, ZERO, to_dot, transfer_many
-from repro.bdd.traverse import leaf_edge_stats, node_count
+from repro.bdd.traverse import leaf_edge_stats
 from repro.decomp import DecompOptions, decompose
 from repro.network import Network, parse_blif, write_blif
 from repro.network.eliminate import PartitionedNetwork, collapse_node_into

@@ -8,9 +8,9 @@ the formula itself is checked.
 
 import pytest
 
-from repro.bdd import BDD, ONE, ZERO
+from repro.bdd import BDD, ONE
 from repro.bdd.traverse import node_count
-from repro.decomp import DecompOptions, decompose
+from repro.decomp import decompose
 from repro.decomp.cuts import cut_signatures, enumerate_cuts
 from repro.decomp.dominators import find_simple_decompositions, verify_simple
 from repro.decomp.engine import DecompStats

@@ -6,7 +6,7 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.bds import BDSOptions, bds_optimize
+from repro.bds import bds_optimize
 from repro.mapping import map_network
 from repro.mapping.lut import map_luts
 from repro.network import (

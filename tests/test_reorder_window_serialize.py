@@ -8,7 +8,7 @@ import pytest
 from repro.bdd import BDD, ONE, ZERO
 from repro.bdd.reorder import sift, window3
 from repro.bdd.serialize import dumps, loads
-from repro.bdd.traverse import evaluate, live_nodes, node_count
+from repro.bdd.traverse import evaluate, node_count
 
 
 def _random_function(mgr, variables, rng, n_ops=30):

@@ -2,9 +2,7 @@
 
 import itertools
 
-import pytest
 
-from repro.bdd import BDD
 from repro.decomp import extract_sharing, trees_to_network
 from repro.decomp.ftree import FTree, mux, negate, op2, var_leaf
 from repro.decomp.sharing import count_shared_gates

@@ -4,7 +4,6 @@ fast-extract, resubstitution and the rugged script."""
 import itertools
 import random
 
-import pytest
 
 from repro.network import Network
 from repro.sis import (

@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 
 from repro.sop import (
     complement,

@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 
 from repro.network import Network, eliminate_bdd, eliminate_literal, sweep
 from repro.network.eliminate import PartitionedNetwork, collapse_node_into
