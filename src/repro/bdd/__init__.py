@@ -17,7 +17,7 @@ References are plain ints: ``ref = node_index << 1 | complement_bit``.
 The constant ``ONE`` is ref ``0`` and ``ZERO`` is its complement, ref ``1``.
 """
 
-from repro.bdd.manager import BDD, ONE, ZERO, TERMINAL
+from repro.bdd.manager import BDD, ONE, ZERO, TERMINAL, BddBudgetExceeded
 from repro.bdd.ops import and_exists, rename_vars, swap_vars
 from repro.bdd.transfer import transfer, transfer_many
 from repro.bdd.reorder import sift, random_order, force_order
@@ -25,6 +25,7 @@ from repro.bdd.dot import to_dot
 
 __all__ = [
     "BDD",
+    "BddBudgetExceeded",
     "ONE",
     "ZERO",
     "TERMINAL",

@@ -50,6 +50,12 @@ ONE = 0
 ZERO = 1
 
 
+class BddBudgetExceeded(RuntimeError):
+    """Raised by node construction when the manager's allocation limit
+    (:meth:`BDD.set_alloc_limit`) is hit; the manager stays consistent, so
+    the caller may raise the limit and retry, or give up."""
+
+
 class ComputedTable:
     """Bounded, slot-indexed computed table with overwrite-on-collision.
 
@@ -140,6 +146,8 @@ class BDD:
         self._gc_min_trigger = 2048
         self._gc_trigger = self._gc_min_trigger
         self.gc_dead_ratio = 0.25
+        # Optional cumulative-allocation ceiling (see set_alloc_limit).
+        self._alloc_limit: Optional[int] = None
         self.perf = PerfCounters()
 
     # ------------------------------------------------------------------
@@ -256,10 +264,26 @@ class BDD:
             return self._mk_raw(var, lo ^ 1, hi ^ 1) ^ 1
         return self._mk_raw(var, lo, hi)
 
+    def set_alloc_limit(self, limit: Optional[int]) -> None:
+        """Cap cumulative allocations (``perf.nodes_allocated``).
+
+        Once set, any *fresh* node construction past the limit raises
+        :class:`BddBudgetExceeded` before touching manager state; lookups
+        of existing nodes are unaffected.  This is how callers make a
+        single deep operator call interruptible (operators allocate
+        bottom-up, so aborting mid-call leaves only canonical nodes
+        behind).  ``None`` removes the limit.
+        """
+        self._alloc_limit = limit
+
     def _mk_raw(self, var: int, lo: int, hi: int) -> int:
         key = (var, lo, hi)
         idx = self._unique.get(key)
         if idx is None:
+            if (self._alloc_limit is not None
+                    and self.perf.nodes_allocated >= self._alloc_limit):
+                raise BddBudgetExceeded(
+                    "allocation limit %d reached" % self._alloc_limit)
             free = self._free
             if free:
                 idx = free.pop()

@@ -33,6 +33,7 @@ from repro.decomp.engine import DecompOptions, DecompStats, decompose
 from repro.network import Network, sweep
 from repro.network.eliminate import PartitionedNetwork
 from repro.perf import merge_snapshots
+from repro.verify import VERIFY_MODES, require_equivalent
 
 
 @dataclass
@@ -63,6 +64,22 @@ class BDSOptions:
     # network construction, the eliminate loop, decomposition merge) and
     # raises repro.check.CheckError on the first violated invariant.
     check_level: str = "off"
+    # First-class result verification (Section V): compare the optimized
+    # network against the input inside the flow.  "sim" simulates
+    # (exhaustive <= 12 inputs), "cec" builds global BDDs with a size cap,
+    # "full" is CEC plus a simulation cross-check of capped outputs.
+    # A mismatch raises repro.verify.VerifyError with the counterexample;
+    # capped outputs land in BDSResult.verify_unknown_outputs and the
+    # verify_outputs_checked / verify_unknown counters in BDSResult.perf.
+    verify: str = "off"
+    verify_size_cap: int = 2_000_000
+    verify_seed: int = 1355
+    # Wall-clock budget (seconds) for the BDD proof attempt.  None means
+    # "as long as the flow itself took" -- verification then never
+    # dominates the run, and outputs not proven in time are cross-checked
+    # by simulation in mode "full".  Use float("inf") for an unbounded
+    # proof attempt.
+    verify_budget: Optional[float] = None
 
 
 @dataclass
@@ -75,6 +92,8 @@ class BDSResult:
     # Aggregated kernel perf counters (cache hit rate, GC sweeps, peak live
     # nodes, ...) from every manager the flow touched; see repro.perf.
     perf: Dict[str, float] = field(default_factory=dict)
+    # Outputs the size-capped verifier could not prove (verify="cec"/"full").
+    verify_unknown_outputs: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         s = self.network.stats()
@@ -86,6 +105,9 @@ class BDSResult:
 def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResult:
     """Run the full BDS flow on a copy of ``net``."""
     opts = options or BDSOptions()
+    if opts.verify not in VERIFY_MODES:
+        raise ValueError("verify must be one of %r, got %r"
+                         % (VERIFY_MODES, opts.verify))
     checker = Checker(opts.check_level)
     timings: Dict[str, float] = {}
     work = net.copy()
@@ -141,17 +163,43 @@ def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResul
     t0 = time.perf_counter()
     gate_net = trees_to_network(trees, inputs=work.inputs,
                                 outputs=work.outputs, name=net.name)
+    # SDC minimization (and in principle any decomposition) can drop a
+    # supernode's dependence on another supernode, stranding that tree;
+    # reachability pruning is a well-formedness requirement of the output
+    # (the lint below enforces it), not part of the optional sweep.
+    gate_net.remove_dangling()
     if opts.final_sweep:
         sweep(gate_net, merge_equivalent=False)
     checker.check_network(gate_net, "network after lowering")
     timings["lower"] = time.perf_counter() - t0
+
+    verify_unknown: List[str] = []
+    t0 = time.perf_counter()
+    if opts.verify != "off":
+        budget = opts.verify_budget
+        if budget is None:
+            budget = max(0.05, 0.8 * sum(timings.values()))
+        deadline = (None if budget == float("inf")
+                    else time.monotonic() + budget)
+        outcome = require_equivalent(net, gate_net, mode=opts.verify,
+                                     size_cap=opts.verify_size_cap,
+                                     seed=opts.verify_seed,
+                                     deadline=deadline,
+                                     subject="BDS result for %r" % net.name)
+        verify_unknown = outcome.unknown_outputs
+        perf_snaps.append({
+            "verify_outputs_checked": float(outcome.outputs_checked),
+            "verify_unknown": float(len(outcome.unknown_outputs)),
+        })
+        timings["verify"] = time.perf_counter() - t0
 
     perf_snaps.extend(part.perf_history)
     perf_snaps.append(part.mgr.perf_snapshot())
     perf_snaps.append(checker.snapshot())
     return BDSResult(gate_net, stats, timings, supernodes=len(trees),
                      mapping_count=part.mapping_count,
-                     perf=merge_snapshots(perf_snaps))
+                     perf=merge_snapshots(perf_snaps),
+                     verify_unknown_outputs=verify_unknown)
 
 
 def _decompose_supernode(part: PartitionedNetwork, name: str,

@@ -4,6 +4,13 @@ Stand-in for the MCNC/LGSynth91 random-logic benchmarks (pair, rot, dalu,
 vda, and the small AND/OR-intensive set).  The generator builds a layered
 DAG with controllable arity, XOR fraction and reconvergence; a fixed seed
 makes every named benchmark reproducible across runs.
+
+The differential fuzzer (:mod:`repro.fuzz`) drives the same generator with
+wider gate mixes -- ``mux_fraction`` / ``not_fraction`` add the gate kinds
+the BDS lowering emits, and ``sink_outputs`` prefers fanout-free gates as
+primary outputs so less of the generated logic dangles.  The defaults
+leave the random stream bit-identical to the original generator, so every
+registry seed keeps producing the same benchmark circuit.
 """
 
 from __future__ import annotations
@@ -18,12 +25,16 @@ from repro.sop.cube import lit
 def random_logic(n_inputs: int, n_gates: int, n_outputs: int,
                  seed: int, xor_fraction: float = 0.05,
                  max_arity: int = 3, locality: int = 12,
-                 name: str = "") -> Network:
+                 name: str = "", mux_fraction: float = 0.0,
+                 not_fraction: float = 0.0,
+                 sink_outputs: bool = False) -> Network:
     """Generate a reproducible random multilevel network.
 
     ``locality`` biases gate fanins toward recently created signals, which
     produces the deep, reconvergent structure of real random-logic
-    benchmarks instead of a shallow soup.
+    benchmarks instead of a shallow soup.  ``mux_fraction`` and
+    ``not_fraction`` carve 2:1 MUX and inverter gates out of the mix;
+    ``sink_outputs`` draws primary outputs from fanout-free gates first.
     """
     rng = random.Random(seed)
     net = Network(name or "rand_s%d" % seed)
@@ -43,6 +54,22 @@ def random_logic(n_inputs: int, n_gates: int, n_outputs: int,
                 fanins.append(cand)
         gname = "g%d" % g
         r = rng.random()
+        special = mux_fraction + not_fraction
+        if r < mux_fraction and len(signals) >= 3:
+            while len(fanins) < 3:          # a MUX needs sel/then/else
+                cand = rng.choice(signals)
+                if cand not in fanins:
+                    fanins.append(cand)
+            net.add_mux(gname, fanins[0], fanins[1], fanins[2])
+            signals.append(gname)
+            continue
+        if r < special:
+            net.add_not(gname, fanins[0])
+            signals.append(gname)
+            continue
+        # Rescale so the classic mix is untouched when the new fractions
+        # are zero (r is then already uniform on [0, 1)).
+        r = (r - special) / (1.0 - special) if special else r
         if r < xor_fraction:
             net.add_xor(gname, fanins)
         elif r < 0.5 + xor_fraction / 2:
@@ -53,8 +80,14 @@ def random_logic(n_inputs: int, n_gates: int, n_outputs: int,
             net.add_or(gname, fanins)
         signals.append(gname)
     gate_names = [s for s in signals if s.startswith("g")]
-    outputs = rng.sample(gate_names[-max(n_outputs * 3, n_outputs):],
-                         min(n_outputs, len(gate_names)))
+    if sink_outputs:
+        fanout = net.fanouts()
+        sinks = [g for g in gate_names if not fanout.get(g)]
+        pool = sinks if len(sinks) >= n_outputs else gate_names
+        outputs = rng.sample(pool, min(n_outputs, len(pool)))
+    else:
+        outputs = rng.sample(gate_names[-max(n_outputs * 3, n_outputs):],
+                             min(n_outputs, len(gate_names)))
     for o in outputs:
         net.add_output(o)
     net.remove_dangling()

@@ -3,10 +3,17 @@
 Mirrors how BDS itself was used as a tool::
 
     python -m repro.cli optimize input.blif -o output.blif [--flow bds|sis]
-        [--verify] [--map | --lut K] [--balance] [--stats] [--check LEVEL]
+        [--verify [sim|cec|full]] [--map | --lut K] [--balance] [--stats]
+        [--check LEVEL]
     python -m repro.cli generate bshift32 -o bshift32.blif
-    python -m repro.cli verify a.blif b.blif
+    python -m repro.cli verify a.blif b.blif [--mode sim|cec|full]
     python -m repro.cli check input.blif [--level cheap|full]
+    python -m repro.cli fuzz [--minutes N] [--seed S] [--jobs J]
+        [--corpus DIR]
+
+Exit codes: 0 clean; 1 failure (verification mismatch, lint violation,
+fuzz find); 2 inconclusive (outputs the size-capped verifier could not
+prove) or parse error for ``check``.
 """
 
 from __future__ import annotations
@@ -22,36 +29,50 @@ from repro.mapping import map_network
 from repro.mapping.lut import map_luts
 from repro.network import parse_blif, write_blif
 from repro.sis import script_rugged
-from repro.verify import check_equivalence
+from repro.verify import DEFAULT_SIZE_CAP, VerifyError, verify_networks
 
 
 def _cmd_optimize(args) -> int:
     with open(args.input) as fh:
         net = parse_blif(fh.read())
+    verify_mode = args.verify or "off"
+    unknown = []
     t0 = time.perf_counter()
     if args.flow == "bds":
         options = BDSOptions(balance_trees=args.balance,
-                             check_level=args.check)
-        result = bds_optimize(net, options)
+                             check_level=args.check,
+                             verify=verify_mode)
+        try:
+            result = bds_optimize(net, options)
+        except VerifyError as exc:
+            print("VERIFICATION FAILED (%s) at output %s, e.g. %r"
+                  % (exc.mode, exc.failing_output, exc.counterexample),
+                  file=sys.stderr)
+            return 1
         optimized = result.network
+        unknown = result.verify_unknown_outputs
         if args.stats:
             print("decompositions:", result.decomp_stats.as_dict(),
                   file=sys.stderr)
     else:
         optimized = script_rugged(net).network
+        if verify_mode != "off":
+            outcome = verify_networks(net, optimized, mode=verify_mode)
+            if not outcome.equivalent:
+                print("VERIFICATION FAILED (%s) at output %s, e.g. %r"
+                      % (outcome.mode, outcome.failing_output,
+                         outcome.counterexample), file=sys.stderr)
+                return 1
+            unknown = outcome.unknown_outputs
     cpu = time.perf_counter() - t0
     if args.stats:
         print("in: %s" % net.stats(), file=sys.stderr)
         print("out: %s  (%.2fs)" % (optimized.stats(), cpu), file=sys.stderr)
-    if args.verify:
-        check = check_equivalence(net, optimized)
-        if not check.equivalent:
-            print("VERIFICATION FAILED at output %s, e.g. %r"
-                  % (check.failing_output, check.counterexample),
-                  file=sys.stderr)
-            return 1
-        print("verified: %d outputs proven, %d unknown"
-              % (len(check.checked_outputs), len(check.unknown_outputs)),
+    if verify_mode != "off":
+        print("verified (%s): result equivalent to input%s"
+              % (verify_mode,
+                 "" if not unknown else "; %d output(s) UNPROVEN: %s"
+                 % (len(unknown), ", ".join(sorted(unknown)))),
               file=sys.stderr)
     emit = optimized
     if args.map:
@@ -68,7 +89,8 @@ def _cmd_optimize(args) -> int:
             fh.write(text)
     else:
         sys.stdout.write(text)
-    return 0
+    # Unproven outputs are not a pass: distinct exit code so scripts notice.
+    return 2 if unknown else 0
 
 
 def _cmd_generate(args) -> int:
@@ -83,21 +105,55 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    """Equivalence-check two BLIFs.
+
+    Exit 0 when every output is proven equivalent, 1 on a mismatch, and 2
+    when some outputs stayed unproven (size cap hit) -- "inconclusive" is
+    not a pass, and the unproven output names are reported.
+    """
     with open(args.a) as fh:
         net_a = parse_blif(fh.read())
     with open(args.b) as fh:
         net_b = parse_blif(fh.read())
-    check = check_equivalence(net_a, net_b)
-    if check.equivalent:
-        print("equivalent (%d outputs)" % len(check.checked_outputs))
-        return 0
-    if check.counterexample is not None:
-        print("NOT equivalent: output %s differs under %r"
-              % (check.failing_output, check.counterexample))
-    else:
-        print("inconclusive: %d outputs exceeded the BDD cap"
-              % len(check.unknown_outputs))
-    return 1
+    outcome = verify_networks(net_a, net_b, mode=args.mode,
+                              size_cap=args.size_cap, seed=args.seed)
+    if not outcome.equivalent:
+        print("NOT equivalent (%s): output %s differs under %r"
+              % (outcome.mode, outcome.failing_output,
+                 outcome.counterexample))
+        return 1
+    if outcome.unknown_outputs:
+        total = outcome.outputs_checked + len(outcome.unknown_outputs)
+        print("inconclusive (%s): %d of %d output(s) UNPROVEN: %s"
+              % (outcome.mode, len(outcome.unknown_outputs), total,
+                 ", ".join(sorted(outcome.unknown_outputs))))
+        return 2
+    print("equivalent (%s, %d outputs%s)"
+          % (outcome.mode, outcome.outputs_checked,
+             "" if outcome.proven else ", simulation only"))
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Differential fuzzing: random netlists x random flow options.
+
+    Every failure is shrunk and written to the corpus directory; exit 1
+    when anything was found.
+    """
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(budget_seconds=args.minutes * 60.0, seed=args.seed,
+                      jobs=args.jobs, corpus_dir=args.corpus,
+                      max_failures=args.max_failures,
+                      shrink_checks=args.shrink_checks,
+                      log=lambda msg: print(msg, file=sys.stderr))
+    print(report.summary())
+    for i, rec in enumerate(report.failures, 1):
+        print("  #%d %s/%s %s (%d -> %d nodes)%s"
+              % (i, rec.failure.kind, rec.failure.stage, rec.failure.detail,
+                 rec.original_nodes, rec.shrunk_nodes,
+                 " -> %s" % rec.corpus_path if rec.corpus_path else ""))
+    return 1 if report.failures else 0
 
 
 def _cmd_check(args) -> int:
@@ -133,7 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("input")
     p_opt.add_argument("-o", "--output")
     p_opt.add_argument("--flow", choices=["bds", "sis"], default="bds")
-    p_opt.add_argument("--verify", action="store_true")
+    p_opt.add_argument("--verify", nargs="?", const="cec", default=None,
+                       choices=["sim", "cec", "full"], metavar="MODE",
+                       help="verify the result against the input inside the "
+                            "flow (sim|cec|full; bare --verify means cec); "
+                            "mismatch exits 1, unproven outputs exit 2")
     p_opt.add_argument("--map", action="store_true",
                        help="map onto the mcnc-style cell library")
     p_opt.add_argument("--lut", type=int, metavar="K",
@@ -155,7 +215,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_ver = sub.add_parser("verify", help="equivalence-check two BLIFs")
     p_ver.add_argument("a")
     p_ver.add_argument("b")
+    p_ver.add_argument("--mode", choices=["sim", "cec", "full"],
+                       default="cec",
+                       help="sim = (exhaustive) simulation, cec = size-"
+                            "capped BDD proof, full = cec + simulation of "
+                            "capped outputs")
+    p_ver.add_argument("--size-cap", type=int, default=DEFAULT_SIZE_CAP,
+                       help="BDD work budget (node allocations) per output "
+                            "before giving up (reported as UNPROVEN, exit 2)")
+    p_ver.add_argument("--seed", type=int, default=1355,
+                       help="seed for the simulation patterns")
     p_ver.set_defaults(func=_cmd_verify)
+
+    p_fuzz = sub.add_parser("fuzz", help="differential-fuzz the BDS flow")
+    p_fuzz.add_argument("--minutes", type=float, default=1.0,
+                        help="time budget (default: 1 minute)")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (cases fan out in waves)")
+    p_fuzz.add_argument("--corpus", default="tests/corpus",
+                        help="directory for shrunk failing netlists "
+                             "(default: tests/corpus)")
+    p_fuzz.add_argument("--max-failures", type=int, default=10,
+                        help="stop after this many distinct finds")
+    p_fuzz.add_argument("--shrink-checks", type=int, default=300,
+                        help="delta-debugging predicate budget per find")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_chk = sub.add_parser("check", help="lint a BLIF netlist for "
                                          "structural violations")

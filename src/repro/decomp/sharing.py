@@ -149,7 +149,7 @@ def trees_to_network(trees: Dict[str, FTree], inputs: Sequence[str],
             return name_
         child_signals = [emit(c) for c in t.children]
         name_ = target or fresh("g")
-        net.add_node(name_, child_signals, list(_GATE_COVERS[t.op]))
+        _emit_gate(net, name_, t.op, child_signals)
         if target is None:
             signal_of[id(t)] = name_
         return name_
@@ -163,6 +163,35 @@ def trees_to_network(trees: Dict[str, FTree], inputs: Sequence[str],
             signal_of.setdefault(id(tree), tree_name)
     net.check()
     return net
+
+
+def _emit_gate(net: Network, name: str, op: str,
+               sigs: List[str]) -> None:
+    """Add one gate, folding duplicate child signals.
+
+    Sharing aliases subtree objects across trees, so two children of one
+    gate can resolve to the same emitted signal (e.g. a named tree that is
+    itself a leaf, or the CONST0/CONST1 singletons); a node with duplicate
+    fanins is structurally invalid, so fold the gate instead.
+    """
+    if op in ("and", "or", "xor", "xnor") and sigs[0] == sigs[1]:
+        if op == "and" or op == "or":
+            net.add_buf(name, sigs[0])
+        else:
+            net.add_const(name, op == "xnor")
+        return
+    if op == "mux":
+        sel, then_sig, else_sig = sigs
+        if then_sig == else_sig:            # sel irrelevant
+            net.add_buf(name, then_sig)
+            return
+        if sel == then_sig:                 # s·s + s̄·e  =  s + e
+            _emit_gate(net, name, "or", [sel, else_sig])
+            return
+        if sel == else_sig:                 # s·t + s̄·s  =  s·t
+            _emit_gate(net, name, "and", [sel, then_sig])
+            return
+    net.add_node(name, sigs, list(_GATE_COVERS[op]))
 
 
 def _order_trees(trees: Dict[str, FTree], inputs: Set[str]) -> List[str]:

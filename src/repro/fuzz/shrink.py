@@ -1,0 +1,210 @@
+"""Counterexample shrinking: ddmin-style reduction of a failing netlist.
+
+Given a network on which some predicate fails (the fuzzer's: "the flow
+still miscompiles this input"), the shrinker greedily applies
+semantics-changing but structure-shrinking mutations, keeping each one
+only when the failure survives:
+
+1. *Drop outputs* -- every primary output the failure does not need goes,
+   and dead cones go with it.
+2. *Collapse nodes* -- each node is tried as constant 0/1 and as a buffer
+   of each of its fanins (killing whole cones once dangling logic is
+   swept).
+3. *Thin covers* -- drop cubes from multi-cube covers and literals from
+   multi-literal cubes.
+4. *Prune inputs* -- unused primary inputs are removed last.
+
+Every accepted step re-runs the predicate, so the result is a minimal (in
+the 1-step sense) replayable artifact.  The predicate budget is bounded
+by ``max_checks`` and an optional wall-clock ``deadline``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.network.network import Network
+from repro.sop.cube import lit
+
+Predicate = Callable[[Network], bool]
+
+
+class _Budget:
+    """Predicate-call and wall-clock budget for one shrink run."""
+
+    def __init__(self, max_checks: int, deadline: Optional[float]) -> None:
+        self.max_checks = max_checks
+        self.deadline = deadline
+        self.checks = 0
+
+    def ok(self) -> bool:
+        if self.checks >= self.max_checks:
+            return False
+        return self.deadline is None or time.monotonic() < self.deadline
+
+    def run(self, fails: Predicate, candidate: Network) -> bool:
+        self.checks += 1
+        try:
+            return fails(candidate)
+        except Exception:
+            # A predicate that dies on a candidate tells us nothing about
+            # the original failure; treat it as "does not reproduce".
+            return False
+
+
+def shrink_network(net: Network, fails: Predicate, max_checks: int = 300,
+                   deadline: Optional[float] = None) -> Network:
+    """Return a smaller network on which ``fails`` still holds.
+
+    ``net`` itself is never mutated.  When the budget runs out the best
+    reduction found so far is returned; if nothing could be removed the
+    result is a plain copy.
+    """
+    budget = _Budget(max_checks, deadline)
+    best = net.copy()
+    best.remove_dangling()
+    best = _drop_outputs(best, fails, budget)
+    while budget.ok():
+        size_before = _size(best)
+        better = _collapse_round(best, fails, budget)
+        if better is not None:
+            best = better
+        best = _thin_covers(best, fails, budget)
+        if _size(best) >= size_before:
+            break
+    return _prune_inputs(best, fails, budget)
+
+
+def _drop_outputs(best: Network, fails: Predicate, budget: _Budget) -> Network:
+    """Greedily remove primary outputs the failure does not depend on."""
+    for out in list(best.outputs):
+        if len(best.outputs) <= 1 or not budget.ok():
+            break
+        candidate = best.copy()
+        candidate.outputs.remove(out)
+        candidate.remove_dangling()
+        if budget.run(fails, candidate):
+            best = candidate
+    return best
+
+
+def _collapse_round(best: Network, fails: Predicate,
+                    budget: _Budget) -> Optional[Network]:
+    """One pass of node/cover mutations; None when nothing was accepted."""
+    improved = None
+    # Outputs-first (reverse topological): a collapse near an output
+    # strands the deepest cone, so the dangling sweep removes the most.
+    names = [node.name for node in reversed(best.topological())]
+    for name in names:
+        if not budget.ok():
+            break
+        if name not in best.nodes:      # swept away by an earlier accept
+            continue
+        for mutate in _node_mutations(best.nodes[name].fanins,
+                                      len(best.nodes[name].cover)):
+            if not budget.ok():
+                break
+            candidate = best.copy()
+            if not mutate(candidate, name):
+                continue
+            candidate.remove_dangling()
+            if _size(candidate) >= _size(best):
+                continue
+            if budget.run(fails, candidate):
+                best = candidate
+                improved = candidate
+                break                   # next node, on the new network
+    return improved if improved is None else best
+
+
+def _node_mutations(fanins: List[str], n_cubes: int
+                    ) -> Iterator[Callable[[Network, str], bool]]:
+    """Mutation closures for one node, strongest reduction first."""
+
+    def const(value: bool) -> Callable[[Network, str], bool]:
+        def apply(candidate: Network, name: str) -> bool:
+            node = candidate.nodes[name]
+            node.cover = [frozenset()] if value else []
+            node.normalize()
+            return True
+        return apply
+
+    def buffer_of(pos: int) -> Callable[[Network, str], bool]:
+        def apply(candidate: Network, name: str) -> bool:
+            node = candidate.nodes[name]
+            if pos >= len(node.fanins):
+                return False
+            node.cover = [frozenset({lit(pos)})]
+            node.normalize()
+            return True
+        return apply
+
+    yield const(False)
+    yield const(True)
+    for i in range(len(fanins)):
+        yield buffer_of(i)
+
+
+def _thin_covers(best: Network, fails: Predicate, budget: _Budget) -> Network:
+    """Drop whole cubes, then single literals, wherever the failure allows."""
+    for name in sorted(best.nodes):
+        if not budget.ok():
+            break
+        if name not in best.nodes:
+            continue
+        changed = True
+        while changed and budget.ok():
+            changed = False
+            node = best.nodes.get(name)
+            if node is None:
+                break
+            for ci in range(len(node.cover)):
+                if len(node.cover) <= 1:
+                    break
+                candidate = best.copy()
+                cnode = candidate.nodes[name]
+                cnode.cover = cnode.cover[:ci] + cnode.cover[ci + 1:]
+                cnode.normalize()
+                candidate.remove_dangling()
+                if budget.run(fails, candidate):
+                    best = candidate
+                    changed = True
+                    break
+            else:
+                for ci, cube in enumerate(node.cover):
+                    if len(cube) <= 1:
+                        continue
+                    hit = False
+                    for l in sorted(cube):
+                        candidate = best.copy()
+                        cnode = candidate.nodes[name]
+                        cnode.cover = list(cnode.cover)
+                        cnode.cover[ci] = cube - {l}
+                        cnode.normalize()
+                        candidate.remove_dangling()
+                        if budget.run(fails, candidate):
+                            best = candidate
+                            changed = hit = True
+                            break
+                    if hit:
+                        break
+    return best
+
+
+def _prune_inputs(best: Network, fails: Predicate, budget: _Budget) -> Network:
+    """Drop primary inputs nothing references (re-checked, like any step)."""
+    used = {f for node in best.nodes.values() for f in node.fanins}
+    used.update(best.outputs)
+    dead = [i for i in best.inputs if i not in used]
+    if not dead or not budget.ok():
+        return best
+    candidate = best.copy()
+    candidate.inputs = [i for i in candidate.inputs if i in used]
+    if budget.run(fails, candidate):
+        return candidate
+    return best
+
+
+def _size(net: Network) -> Tuple[int, int, int]:
+    return (net.node_count(), net.literal_count(), len(net.inputs))

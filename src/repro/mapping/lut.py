@@ -76,7 +76,12 @@ def map_luts(net: Network, k: int = 5, max_cuts: int = 12) -> LutMappingResult:
         if sg.kind[root] == "leaf":
             out_net.add_buf(name, sg.signal[root])
             continue
-        emit(root)
+        # Structural hashing can collapse two roots onto one vertex, in
+        # which case only one of the names materializes a LUT; the other
+        # root gets a buffer so every root signal stays driven.
+        sig = emit(root)
+        if sig != name:
+            out_net.add_buf(name, sig)
         lut_depth = max(lut_depth, depth[root])
     _materialize_constants(out_net)
     out_net.check()

@@ -9,10 +9,11 @@ cross-checked by simulation.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, NamedTuple, Optional
 
-from repro.bdd import BDD, ONE, ZERO, force_order
-from repro.bdd.traverse import node_count, pick_assignment
+from repro.bdd import BDD, BddBudgetExceeded, ONE, ZERO, force_order
+from repro.bdd.traverse import pick_assignment
 from repro.network.network import Network
 
 
@@ -24,14 +25,25 @@ class EquivalenceResult(NamedTuple):
     failing_output: Optional[str]
 
 
-def check_equivalence(a: Network, b: Network,
-                      size_cap: int = 200000) -> EquivalenceResult:
+#: Default per-output work budget (fresh node allocations).  Sized so every
+#: proof the test suite relies on completes (the worst, C432 optimized vs.
+#: original, needs ~600k) while still cutting off exponential blowups.
+DEFAULT_SIZE_CAP = 2_000_000
+
+
+def check_equivalence(a: Network, b: Network, size_cap: int = DEFAULT_SIZE_CAP,
+                      deadline: Optional[float] = None) -> EquivalenceResult:
     """Check that two networks implement the same functions.
 
     Requires identical input and output name sets.  Returns a result whose
-    ``equivalent`` is True only when *every* output was proven equal;
-    outputs whose global BDD exceeded ``size_cap`` land in
-    ``unknown_outputs``.
+    ``equivalent`` is True only when *every* output was proven equal.
+    ``size_cap`` bounds the *work* per output: once building an output's
+    global BDD has allocated that many fresh nodes the output is abandoned
+    to ``unknown_outputs`` (to be cross-checked by simulation).  Capping
+    work rather than final size matters in practice -- an output can grow
+    millions of intermediate nodes and still collapse to a small BDD.
+    ``deadline`` (a ``time.monotonic()`` instant) bounds the whole call the
+    same way: outputs not proven by then are reported unknown.
     """
     if set(a.inputs) != set(b.inputs):
         raise ValueError("input sets differ: %r vs %r"
@@ -50,8 +62,11 @@ def check_equivalence(a: Network, b: Network,
     checked: List[str] = []
     unknown: List[str] = []
     for out in a.outputs:
-        ref_a = _global_bdd(mgr, a, out, var_of, cache_a, size_cap)
-        ref_b = _global_bdd(mgr, b, out, var_of, cache_b, size_cap)
+        if deadline is not None and time.monotonic() > deadline:
+            unknown.append(out)
+            continue
+        ref_a = _global_bdd(mgr, a, out, var_of, cache_a, size_cap, deadline)
+        ref_b = _global_bdd(mgr, b, out, var_of, cache_b, size_cap, deadline)
         if ref_a is None or ref_b is None:
             unknown.append(out)
             continue
@@ -85,23 +100,39 @@ def _initial_order(net: Network) -> List[str]:
     return [names[i] for i in order_idx]
 
 
-def _global_bdd(mgr: BDD, net: Network, output: str, var_of: Dict[str, int],
-                cache: Dict[str, Optional[int]], size_cap: int) -> Optional[int]:
-    """Global BDD of one output; None when the cap is exceeded."""
+#: Allocation granularity of the abort check: the kernel interrupts the
+#: build every this-many fresh nodes so a single deep operator call cannot
+#: blow past the work cap or the deadline unchecked.
+_BUDGET_CHUNK = 4096
 
-    def build(name: str) -> Optional[int]:
+
+def _global_bdd(mgr: BDD, net: Network, output: str, var_of: Dict[str, int],
+                cache: Dict[str, Optional[int]], size_cap: int,
+                deadline: Optional[float] = None) -> Optional[int]:
+    """Global BDD of one output; None when the work budget runs out.
+
+    The work cap is enforced by the kernel itself: the manager's
+    allocation limit is advanced in :data:`_BUDGET_CHUNK` steps, and at
+    every :class:`BddBudgetExceeded` interrupt we either give up (cap or
+    deadline exhausted) or extend the window and resume.  Resuming is
+    cheap -- completed nodes sit in ``cache`` and the operator caches
+    replay the partial work.
+    """
+    budget_start = mgr.perf.nodes_allocated
+
+    def exhausted() -> bool:
+        if mgr.perf.nodes_allocated - budget_start >= size_cap:
+            return True
+        return deadline is not None and time.monotonic() > deadline
+
+    def build(name: str) -> int:
         if name in var_of and name not in net.nodes:
             return mgr.var_ref(var_of[name])
-        if name in cache:
-            return cache[name]
+        ref = cache.get(name)
+        if ref is not None:
+            return ref
         node = net.nodes[name]
-        fanin_refs = []
-        for f in node.fanins:
-            r = build(f)
-            if r is None:
-                cache[name] = None
-                return None
-            fanin_refs.append(r)
+        fanin_refs = [build(f) for f in node.fanins]
         acc = ZERO
         for cube in node.cover:
             term = ONE
@@ -110,10 +141,17 @@ def _global_bdd(mgr: BDD, net: Network, output: str, var_of: Dict[str, int],
                 if term == ZERO:
                     break
             acc = mgr.or_(acc, term)
-        if node_count(mgr, acc) > size_cap:
-            cache[name] = None
-            return None
         cache[name] = acc
         return acc
 
-    return build(output)
+    try:
+        while True:
+            mgr.set_alloc_limit(min(budget_start + size_cap,
+                                    mgr.perf.nodes_allocated + _BUDGET_CHUNK))
+            try:
+                return build(output)
+            except BddBudgetExceeded:
+                if exhausted():
+                    return None
+    finally:
+        mgr.set_alloc_limit(None)

@@ -1,31 +1,44 @@
-"""Bit-parallel random-simulation equivalence cross-check.
+"""Bit-parallel simulation equivalence cross-check.
 
-Not a proof -- the probabilistic fallback for circuits whose global BDDs
-exceed the verifier's cap (the paper hit exactly this on the C6288
-multiplier).
+For small input counts the check is *exhaustive*: the full truth table is
+simulated bit-parallel, so the answer is a proof (random rounds can miss a
+single-minterm bug).  Above :data:`EXHAUSTIVE_LIMIT` inputs it falls back
+to seeded random patterns -- the probabilistic fallback for circuits whose
+global BDDs exceed the verifier's cap (the paper hit exactly this on the
+C6288 multiplier).
 """
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Optional, Tuple
 
 from repro.network.network import Network
+
+#: Networks with at most this many primary inputs are compared on their
+#: full truth table (2^12 = 4096 patterns in one bit-parallel pass).
+EXHAUSTIVE_LIMIT = 12
 
 
 def simulate_equivalence(a: Network, b: Network, rounds: int = 16,
                          width: int = 256, seed: int = 1355
                          ) -> Tuple[bool, Optional[Dict[str, bool]]]:
-    """Compare networks on ``rounds * width`` random patterns.
+    """Compare networks by simulation; ``(agree, counterexample)``.
 
-    Returns ``(agree, counterexample)``; the counterexample is an input
-    assignment on which the networks differ (None when they agree
-    everywhere sampled).
+    With at most :data:`EXHAUSTIVE_LIMIT` inputs every assignment is
+    simulated, so the result is exact.  Otherwise ``rounds * width``
+    random patterns drawn from ``seed`` are compared -- pass an explicit
+    ``seed`` so a reported mismatch reproduces.  The counterexample is an
+    input assignment on which the networks differ (None when they agree
+    on everything sampled).
     """
     if set(a.inputs) != set(b.inputs):
         raise ValueError("input sets differ")
     if sorted(a.outputs) != sorted(b.outputs):
         raise ValueError("output sets differ")
+    if len(a.inputs) <= EXHAUSTIVE_LIMIT:
+        return _exhaustive_equivalence(a, b)
+    import random
+
     rng = random.Random(seed)
     for _ in range(rounds):
         words = {i: rng.getrandbits(width) for i in a.inputs}
@@ -37,4 +50,29 @@ def simulate_equivalence(a: Network, b: Network, rounds: int = 16,
                 bit = (diff & -diff).bit_length() - 1
                 cex = {i: bool((words[i] >> bit) & 1) for i in a.inputs}
                 return False, cex
+    return True, None
+
+
+def _exhaustive_equivalence(a: Network, b: Network
+                            ) -> Tuple[bool, Optional[Dict[str, bool]]]:
+    """Full-truth-table comparison; pattern ``j`` assigns input ``i`` the
+    bit ``(j >> i) & 1``, so a differing bit maps straight back to an
+    input assignment."""
+    inputs = list(a.inputs)
+    n = len(inputs)
+    total = 1 << n
+    words: Dict[str, int] = {}
+    for i, name in enumerate(inputs):
+        period = 1 << (i + 1)
+        block = ((1 << (1 << i)) - 1) << (1 << i)   # 2^i zeros, 2^i ones
+        # Repeat the block across the whole table.
+        words[name] = block * (((1 << total) - 1) // ((1 << period) - 1))
+    out_a = a.eval_words(words, total)
+    out_b = b.eval_words(words, total)
+    for name in a.outputs:
+        diff = out_a[name] ^ out_b[name]
+        if diff:
+            j = (diff & -diff).bit_length() - 1
+            cex = {inp: bool((j >> i) & 1) for i, inp in enumerate(inputs)}
+            return False, cex
     return True, None

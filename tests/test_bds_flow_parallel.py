@@ -28,7 +28,7 @@ def test_parallel_matches_serial(name):
 
     res = check_equivalence(serial.network, parallel.network)
     assert res.equivalent, (
-        "jobs=4 differs from jobs=1 on %s: %s" % (name, res.counterexamples))
+        "jobs=4 differs from jobs=1 on %s: %s" % (name, res.counterexample))
     assert not res.unknown_outputs
 
     res = check_equivalence(net, parallel.network)

@@ -94,3 +94,91 @@ class TestGenerateVerify:
         open(b, "w").write(write_blif(net))
         assert main(["verify", a, b]) == 1
         assert "NOT equivalent" in capsys.readouterr().out
+
+
+class TestVerifyContract:
+    """Exit-code contract: 0 proven, 1 mismatch, 2 inconclusive."""
+
+    def test_inconclusive_exits_2_and_names_outputs(self, tmp_path, capsys):
+        a = str(tmp_path / "a.blif")
+        main(["generate", "add4", "-o", a])
+        rc = main(["verify", a, a, "--size-cap", "1"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "UNPROVEN" in out
+        assert "fa3_c" in out            # unproven outputs named explicitly
+
+    def test_full_mode_breaks_the_tie(self, tmp_path, capsys):
+        a = str(tmp_path / "a.blif")
+        main(["generate", "add4", "-o", a])
+        # Same tiny cap, but the exhaustive simulation cross-check proves
+        # the capped outputs (add4 is small enough for a full truth table).
+        rc = main(["verify", a, a, "--size-cap", "1", "--mode", "full"])
+        assert rc == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_sim_mode(self, tmp_path, capsys):
+        a = str(tmp_path / "a.blif")
+        main(["generate", "parity8", "-o", a])
+        assert main(["verify", a, a, "--mode", "sim"]) == 0
+
+    def test_optimize_verify_mode_argument(self, blif_file, tmp_path):
+        out = str(tmp_path / "out.blif")
+        for mode in ("sim", "cec", "full"):
+            assert main(["optimize", blif_file, "-o", out,
+                         "--verify", mode]) == 0
+
+    def test_optimize_verify_miscompile_exits_1(self, blif_file, tmp_path,
+                                                capsys, monkeypatch):
+        import repro.bds.flow as flow_mod
+
+        original = flow_mod.trees_to_network
+
+        def corrupt(*args, **kwargs):
+            net = original(*args, **kwargs)
+            out = net.outputs[0]
+            if out in net.nodes:
+                net.nodes[out].cover = []
+            return net
+
+        monkeypatch.setattr(flow_mod, "trees_to_network", corrupt)
+        out = str(tmp_path / "out.blif")
+        rc = main(["optimize", blif_file, "-o", out, "--verify", "full"])
+        assert rc == 1
+        assert "VERIFICATION FAILED" in capsys.readouterr().err
+        # Silent shipping is exactly what the exit code must prevent.
+        assert main(["optimize", blif_file, "-o", out]) == 0
+
+
+class TestFuzzCommand:
+    def test_smoke_run_exits_0(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        rc = main(["fuzz", "--minutes", "0.03", "--seed", "11",
+                   "--corpus", corpus])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fuzz: seed=11" in out
+        assert "failures=0" in out
+
+    def test_finds_exit_1_and_land_in_corpus(self, tmp_path, capsys,
+                                             monkeypatch):
+        import os
+
+        import repro.bds.flow as flow_mod
+
+        original = flow_mod.trees_to_network
+
+        def corrupt(*args, **kwargs):
+            net = original(*args, **kwargs)
+            out = net.outputs[0]
+            if out in net.nodes:
+                net.nodes[out].cover = []
+            return net
+
+        monkeypatch.setattr(flow_mod, "trees_to_network", corrupt)
+        corpus = str(tmp_path / "corpus")
+        rc = main(["fuzz", "--minutes", "1.0", "--seed", "11",
+                   "--corpus", corpus, "--max-failures", "1"])
+        assert rc == 1
+        assert "mismatch" in capsys.readouterr().out
+        assert any(f.endswith(".blif") for f in os.listdir(corpus))

@@ -1,0 +1,36 @@
+"""Replay every corpus entry in tests/corpus/ -- forever.
+
+Each ``.blif`` under ``tests/corpus/`` is a minimized fuzzing find (see
+repro.fuzz.corpus): the netlist plus the exact flow options that once
+miscompiled or crashed on it.  A fixed bug must stay fixed, so each entry
+is re-run through the full differential check on every test run.  The
+suite passes whether the corpus is empty or not; new finds just get
+dropped into the directory.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import load_entries, replay_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+_ENTRIES = load_entries(CORPUS_DIR)
+
+
+def test_corpus_loads_cleanly():
+    # Works on an empty or missing corpus directory too.
+    for entry in _ENTRIES:
+        entry.network.check()
+        assert entry.kind in ("mismatch", "crash")
+        assert entry.stage in ("flow", "map")
+
+
+@pytest.mark.parametrize(
+    "entry", _ENTRIES, ids=[e.name for e in _ENTRIES])
+def test_corpus_entry_stays_fixed(entry):
+    failure = replay_entry(entry)
+    assert failure is None, (
+        "regressed: %s reproduces again: %s/%s %s"
+        % (entry.name, failure.kind, failure.stage, failure.detail))
