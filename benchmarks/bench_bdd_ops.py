@@ -3,16 +3,21 @@
 Not a paper table -- these keep the performance of the primitives that
 every experiment depends on (ITE throughput, sifting, transfer, ISOP)
 visible in the benchmark report, so regressions in the substrate are
-caught next to the system-level numbers.
+caught next to the system-level numbers.  ``test_reorder_microbench``
+additionally emits ``BENCH_reorder.json`` (results dir + repo root):
+the reordering engine's CPU numbers on the Table I circuits, with the
+pre-incremental-engine baseline recorded for before/after evidence.
 """
 
 import random
+import time
 
+from common import write_bench_json
 
 from repro.bdd import BDD, transfer_many
 from repro.bdd.isop import isop
 from repro.bdd.reorder import sift
-from repro.bdd.traverse import node_count
+from repro.bdd.traverse import live_node_count, node_count
 
 
 def _build_alu_like(mgr, n=10, seed=17):
@@ -95,3 +100,84 @@ def test_isop_extraction(benchmark):
 
     cubes = benchmark(run)
     assert cubes >= 1
+
+
+# ----------------------------------------------------------------------
+# Reordering engine CPU on the Table I circuits -> BENCH_reorder.json
+# ----------------------------------------------------------------------
+
+#: Seed-implementation numbers (commit a9d3316, best of 3 on the CI
+#: container): the pre-incremental sift re-traversed every live node per
+#: swap, so its cost was O(live * swaps).  Kept as the "before" side of
+#: the before/after evidence; the microbench re-measures "after" live.
+_SEED_BASELINE = {
+    "global_sift_s": {"C1355": 13.405, "C499": 15.436, "C880": 0.043},
+    "flow_sift_s": {"C1355": 0.0426, "C499": 0.0503, "C880": 0.0053},
+    "global_sifted_size": {"C1355": 10394, "C499": 10394, "C880": 112},
+}
+
+_REORDER_CIRCUITS = ("C1355", "C499", "C880")
+
+
+def _global_sift_once(cname):
+    """Build the monolithic global BDD of a circuit and sift it once."""
+    from repro.circuits import build_circuit
+    from repro.verify.cec import _global_bdd, _initial_order
+
+    net = build_circuit(cname)
+    mgr = BDD()
+    var_of = {name: mgr.new_var(name) for name in _initial_order(net)}
+    cache = {}
+    roots = []
+    for out in net.outputs:
+        ref = _global_bdd(mgr, net, out, var_of, cache, size_cap=10 ** 9)
+        roots.append(mgr.register_root(ref))
+    before = live_node_count(mgr, roots)
+    t0 = time.perf_counter()
+    after = sift(mgr, roots, size_limit=10 ** 9)
+    elapsed = time.perf_counter() - t0
+    return {
+        "sift_s": round(elapsed, 4),
+        "size_before": before,
+        "size_after": after,
+        "swaps": mgr.perf.reorder_swaps,
+        "swaps_skipped": mgr.perf.reorder_swaps_skipped,
+        "live_traversals": mgr.perf.live_traversals,
+    }
+
+
+def _flow_reorder_metrics(cname):
+    """Per-supernode reorder CPU as the Table I harness exercises it."""
+    from repro.bds import BDSOptions, bds_optimize
+    from repro.circuits import build_circuit
+
+    net = build_circuit(cname)
+    best = None
+    for _ in range(3):
+        perf = bds_optimize(net, BDSOptions()).perf
+        if best is None or perf["reorder_time_s"] < best["reorder_time_s"]:
+            best = perf
+    return {
+        "flow_sift_s": round(best["reorder_time_s"], 4),
+        "flow_passes": int(best["reorder_passes"]),
+        "flow_swaps": int(best["reorder_swaps"]),
+        "flow_swaps_skipped": int(best["reorder_swaps_skipped"]),
+    }
+
+
+def test_reorder_microbench():
+    """Measure reorder CPU (global sift + in-flow sift) and emit
+    ``BENCH_reorder.json`` with the seed baseline alongside."""
+    payload = {"baseline_seed": _SEED_BASELINE, "current": {}}
+    for cname in _REORDER_CIRCUITS:
+        entry = _global_sift_once(cname)
+        entry.update(_flow_reorder_metrics(cname))
+        entry["speedup_global"] = round(
+            _SEED_BASELINE["global_sift_s"][cname] / entry["sift_s"], 2)
+        entry["speedup_flow"] = round(
+            _SEED_BASELINE["flow_sift_s"][cname] / entry["flow_sift_s"], 2)
+        payload["current"][cname] = entry
+        # Sifted sizes must never be worse than the seed implementation's.
+        assert entry["size_after"] <= _SEED_BASELINE[
+            "global_sifted_size"][cname]
+    write_bench_json(payload, "BENCH_reorder.json", root_copy=True)

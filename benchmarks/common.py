@@ -94,18 +94,32 @@ def run_system(net: Network, system: str, verify: bool = True,
     )
 
 
-def write_kernel_json(payload: Dict, filename: str = "BENCH_kernel.json") -> str:
-    """Write machine-readable kernel metrics next to the text tables.
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-    Future PRs diff this file to track the perf trajectory (ops/sec, peak
-    live nodes, cache hit rate, table CPU/mem totals).
+
+def write_bench_json(payload: Dict, filename: str,
+                     root_copy: bool = False) -> str:
+    """Write machine-readable bench metrics next to the text tables.
+
+    Future PRs diff these files to track the perf trajectory.  With
+    ``root_copy`` the file is also placed at the repository root, where
+    cross-PR tooling picks it up without knowing the results layout.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+        fh.write(text)
+    if root_copy:
+        with open(os.path.join(REPO_ROOT, filename), "w") as fh:
+            fh.write(text)
     return path
+
+
+def write_kernel_json(payload: Dict, filename: str = "BENCH_kernel.json") -> str:
+    """Write the kernel-health metrics (ops/sec, peak live nodes, cache
+    hit rate, table CPU/mem totals) tracked across PRs."""
+    return write_bench_json(payload, filename)
 
 
 def format_table(title: str, header: str, rows: list, footer: str = "") -> str:

@@ -49,6 +49,28 @@ ONE = 0
 #: The constant FALSE function (terminal node, complement edge).
 ZERO = 1
 
+#: For each computed-table key tag, the tuple positions holding BDD refs.
+#: Tags: 0=ite, 1=cofactor, 2=compose, 3=vector_compose, 4=exists,
+#: 5=restrict, 6=constrain, 7=and_exists (see the respective modules).
+#: ``repro.check.bdd_sanitizer`` audits cache hygiene against this map.
+CACHE_TAG_REF_POSITIONS: Dict[int, Tuple[int, ...]] = {
+    0: (1, 2, 3),
+    1: (1,),
+    2: (1, 3),
+    3: (1,),
+    4: (1,),
+    5: (1, 2),
+    6: (1, 2),
+    7: (1, 2),
+}
+
+#: Cache tags whose *keys* encode the variable order (frozensets of
+#: levels): entries under these tags alias different variable sets after a
+#: swap and must be purged on reordering.  Every other tag's entry maps a
+#: canonical-ref key to a canonical-ref result -- a pure function-level
+#: fact that stays true under any order.
+ORDER_DEPENDENT_TAGS: FrozenSet[int] = frozenset({4, 7})
+
 
 class BddBudgetExceeded(RuntimeError):
     """Raised by node construction when the manager's allocation limit
@@ -111,6 +133,28 @@ class ComputedTable:
     def clear(self) -> None:
         self.gen += 1
 
+    def drop_order_dependent(self) -> int:
+        """Invalidate only the entries whose keys encode the variable order
+        (:data:`ORDER_DEPENDENT_TAGS`); every other entry survives a swap.
+
+        This is the scoped alternative to :meth:`clear` after a standalone
+        adjacent swap: O(slots) once instead of discarding the whole memo.
+        Returns the number of entries dropped.
+        """
+        gen = self.gen
+        dropped = 0
+        slots = self.slots
+        for i, s in enumerate(slots):
+            if s is None or s[2] != gen:
+                continue
+            key = s[0]
+            if (isinstance(key, tuple) and key
+                    and isinstance(key[0], int)
+                    and key[0] in ORDER_DEPENDENT_TAGS):
+                slots[i] = None
+                dropped += 1
+        return dropped
+
     def valid_entries(self) -> int:
         """Occupied, non-stale slots (O(table size); diagnostics only)."""
         gen = self.gen
@@ -148,6 +192,24 @@ class BDD:
         self.gc_dead_ratio = 0.25
         # Optional cumulative-allocation ceiling (see set_alloc_limit).
         self._alloc_limit: Optional[int] = None
+        # Incremental reorder bookkeeping (see docs/PERFORMANCE.md §7).
+        # _ref[i]: references into slot i from allocated (non-dead) parent
+        # nodes plus registered-root registrations.  _var_counts[v]: number
+        # of allocated non-dead nodes labelled v.  Both are maintained in
+        # O(touched nodes) by mk/swap and rebuilt wholesale by each sweep,
+        # so reordering reads exact per-level sizes without traversing.
+        self._ref: List[int] = [0]
+        self._var_counts: List[int] = []
+        # Active reorder session: (pinned roots, interaction masks or None).
+        self._reorder_session: Optional[
+            Tuple[List[int], Optional[List[int]]]] = None
+        # Growth-triggered dynamic reordering (enable_autoreorder): mk sets
+        # the pending flag when the live count crosses the threshold; the
+        # reorder itself runs at the next maybe_collect safe point, where
+        # the caller has declared the full root set.
+        self._autoreorder_threshold: Optional[int] = None
+        self._autoreorder_method: str = "sift"
+        self._reorder_pending = False
         self.perf = PerfCounters()
 
     # ------------------------------------------------------------------
@@ -166,6 +228,7 @@ class BDD:
         self._var2level.append(len(self._level2var))
         self._level2var.append(var)
         self._nodes_by_var[var] = []
+        self._var_counts.append(0)
         return var
 
     def add_vars(self, names: Iterable[str]) -> List[int]:
@@ -290,17 +353,28 @@ class BDD:
                 self._var[idx] = var
                 self._lo[idx] = lo
                 self._hi[idx] = hi
+                self._ref[idx] = 0
                 self.perf.nodes_reused += 1
             else:
                 idx = len(self._var)
                 self._var.append(var)
                 self._lo.append(lo)
                 self._hi.append(hi)
+                self._ref.append(0)
                 if idx + 1 > self.perf.peak_allocated_nodes:
                     self.perf.peak_allocated_nodes = idx + 1
             self.perf.nodes_allocated += 1
             self._unique[key] = idx
             self._nodes_by_var[var].append(idx)
+            ref_arr = self._ref
+            ref_arr[lo >> 1] += 1
+            ref_arr[hi >> 1] += 1
+            self._var_counts[var] += 1
+            if (self._autoreorder_threshold is not None
+                    and not self._reorder_pending
+                    and (len(self._var) - 1 - len(self._free)
+                         >= self._autoreorder_threshold)):
+                self._reorder_pending = True
         return idx << 1
 
     def var_ref(self, var: int) -> int:
@@ -645,15 +719,19 @@ class BDD:
     def register_root(self, ref: int) -> int:
         """Protect ``ref`` (and everything it reaches) from GC; returns it."""
         self._roots[ref] = self._roots.get(ref, 0) + 1
+        self._ref[ref >> 1] += 1
         return ref
 
     def deregister_root(self, ref: int) -> None:
         """Drop one protection of ``ref`` (refcounted)."""
         count = self._roots.get(ref, 0)
-        if count <= 1:
+        if count <= 0:
+            return
+        if count == 1:
             self._roots.pop(ref, None)
         else:
             self._roots[ref] = count - 1
+        self._ref[ref >> 1] -= 1
 
     def registered_roots(self) -> List[int]:
         return list(self._roots)
@@ -713,6 +791,22 @@ class BDD:
         for var, nodes in self._nodes_by_var.items():
             self._nodes_by_var[var] = [
                 i for i in nodes if i < n and var_arr[i] == var]
+        # Rebuild the incremental reorder bookkeeping wholesale: after a
+        # sweep every allocated non-dead node is reachable, so one O(n)
+        # pass restores exact per-var counts and reference counts.
+        counts = [0] * len(self._var_names)
+        ref_arr = [0] * n
+        for idx in range(1, n):
+            var = var_arr[idx]
+            if var == DEAD:
+                continue
+            counts[var] += 1
+            ref_arr[lo_arr[idx] >> 1] += 1
+            ref_arr[hi_arr[idx] >> 1] += 1
+        for root, rcount in self._roots.items():
+            ref_arr[root >> 1] += rcount
+        self._var_counts = counts
+        self._ref = ref_arr
         self._cache.clear()
         live_count = n - 1 - len(free)
         perf = self.perf
@@ -731,14 +825,120 @@ class BDD:
         Returns the number of nodes reclaimed (0 when no sweep ran).
         """
         active = len(self._var) - 1 - len(self._free)
-        if active < self._gc_trigger:
-            return 0
-        before = active
-        purged = self.collect_garbage(extra_roots)
-        if before and purged / before < self.gc_dead_ratio:
-            # Mostly-live manager: back off so we do not thrash on marking.
-            self._gc_trigger = max(self._gc_trigger, 2 * (before - purged))
+        purged = 0
+        if active >= self._gc_trigger:
+            before = active
+            purged = self.collect_garbage(extra_roots)
+            if before and purged / before < self.gc_dead_ratio:
+                # Mostly-live manager: back off, don't thrash on marking.
+                self._gc_trigger = max(self._gc_trigger,
+                                       2 * (before - purged))
+        if self._reorder_pending:
+            self._fire_autoreorder(extra_roots)
         return purged
+
+    # ------------------------------------------------------------------
+    # Incremental reordering support (see repro.bdd.reorder)
+    # ------------------------------------------------------------------
+
+    @property
+    def reordering(self) -> bool:
+        """True while a reorder session (sift/window pass) is active."""
+        return self._reorder_session is not None
+
+    def level_size(self, level: int) -> int:
+        """Allocated non-dead nodes labelled with the variable at ``level``
+        (exact live count at reorder safe points)."""
+        return self._var_counts[self._level2var[level]]
+
+    def begin_reorder(self, roots: Sequence[int],
+                      interactions: bool = True) -> int:
+        """Open a reorder session: collect garbage so that every allocated
+        node is reachable from ``roots`` plus the registered roots, pin
+        ``roots``, and (optionally) build the variable interaction matrix.
+
+        Inside a session ``swap_adjacent`` reclaims nodes the moment their
+        reference count drops to zero, which keeps ``num_nodes_live`` and
+        the per-level counters exact after every swap -- no traversals.
+        Returns the live node count.  Sessions do not nest.
+        """
+        if self._reorder_session is not None:
+            raise RuntimeError("reorder session already active")
+        self.collect_garbage(extra_roots=roots)
+        pinned = list(roots)
+        for r in pinned:
+            self.register_root(r)
+        masks: Optional[List[int]] = None
+        if interactions and self.num_vars > 1:
+            from repro.bdd.traverse import interaction_masks
+
+            masks = interaction_masks(self, self.registered_roots())
+        self._reorder_session = (pinned, masks)
+        return self.num_nodes_live
+
+    def end_reorder(self) -> None:
+        """Close the reorder session opened by :meth:`begin_reorder`.
+
+        The computed table needs no per-swap invalidation: the session's
+        opening sweep already version-tagged every entry stale, and no
+        operator may run (hence cache) while a session is active.
+        """
+        session = self._reorder_session
+        if session is None:
+            raise RuntimeError("no reorder session active")
+        for r in session[0]:
+            self.deregister_root(r)
+        self._reorder_session = None
+
+    def vars_interact(self, x: int, y: int) -> bool:
+        """True unless the session's interaction matrix proves that ``x``
+        and ``y`` never co-occur in a live cone (in which case swapping
+        their adjacent levels is a pure O(1) level-map transposition)."""
+        session = self._reorder_session
+        if session is None or session[1] is None:
+            return True
+        return bool((session[1][x] >> y) & 1)
+
+    def enable_autoreorder(self, threshold: int,
+                           method: str = "sift") -> None:
+        """Arm growth-triggered dynamic reordering (CUDD-style).
+
+        When the live node count crosses ``threshold``, the next
+        :meth:`maybe_collect` safe point runs the given reorder method
+        over the registered roots plus the caller's ``extra_roots``, then
+        raises the threshold to twice the post-reorder size so a healthy
+        table does not thrash.  ``method`` is a key of
+        :data:`repro.bdd.reorder.AUTOREORDER_METHODS`.
+        """
+        from repro.bdd.reorder import AUTOREORDER_METHODS
+
+        if method not in AUTOREORDER_METHODS:
+            raise ValueError("unknown autoreorder method %r (have %r)"
+                             % (method, sorted(AUTOREORDER_METHODS)))
+        if threshold <= 0:
+            raise ValueError("autoreorder threshold must be positive")
+        self._autoreorder_threshold = threshold
+        self._autoreorder_method = method
+
+    def disable_autoreorder(self) -> None:
+        self._autoreorder_threshold = None
+        self._reorder_pending = False
+
+    def _fire_autoreorder(self, extra_roots: Sequence[int]) -> None:
+        """Run the armed reorder method at a safe point (maybe_collect)."""
+        self._reorder_pending = False
+        threshold = self._autoreorder_threshold
+        if threshold is None or self._reorder_session is not None:
+            return
+        if self.num_nodes_live < threshold:
+            return
+        from repro.bdd.reorder import AUTOREORDER_METHODS
+
+        self.perf.autoreorder_triggers += 1
+        AUTOREORDER_METHODS[self._autoreorder_method](
+            self, list(extra_roots))
+        self._autoreorder_threshold = max(threshold,
+                                          2 * self.num_nodes_live)
 
     # ------------------------------------------------------------------
     # Cache management and perf reporting
@@ -768,6 +968,14 @@ class BDD:
             "peak_allocated_nodes": perf.peak_allocated_nodes,
             "checks_run": perf.checks_run,
             "check_violations": perf.check_violations,
+            "reorder_swaps": perf.reorder_swaps,
+            "reorder_swaps_skipped": perf.reorder_swaps_skipped,
+            "reorder_passes": perf.reorder_passes,
+            "reorder_time_s": perf.reorder_time_s,
+            "reorder_size_before": perf.reorder_size_before,
+            "reorder_size_after": perf.reorder_size_after,
+            "autoreorder_triggers": perf.autoreorder_triggers,
+            "live_traversals": perf.live_traversals,
             "cache_hits": cache.hits,
             "cache_misses": cache.misses,
             "cache_evictions": cache.evictions,

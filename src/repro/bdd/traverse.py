@@ -61,7 +61,13 @@ def shared_node_count(mgr: BDD, refs: Sequence[int]) -> int:
 
 
 def live_nodes(mgr: BDD, refs: Sequence[int]) -> Set[int]:
-    """Node indices reachable from ``refs`` (including the terminal)."""
+    """Node indices reachable from ``refs`` (including the terminal).
+
+    A full mark traversal -- O(reachable nodes).  Counted in
+    ``mgr.perf.live_traversals`` so tests can assert that hot loops (the
+    sifting inner loop in particular) never fall back to it.
+    """
+    mgr.perf.live_traversals += 1
     seen: Set[int] = {0}
     stack = [r >> 1 for r in refs]
     while stack:
@@ -72,6 +78,55 @@ def live_nodes(mgr: BDD, refs: Sequence[int]) -> Set[int]:
         stack.append(mgr._lo[idx] >> 1)
         stack.append(mgr._hi[idx] >> 1)
     return seen
+
+
+def support_masks(mgr: BDD, refs: Sequence[int]) -> Dict[int, int]:
+    """Per-node support bitmasks (bit ``v`` set iff var ``v`` occurs in the
+    node's subgraph) for every node reachable from ``refs``.
+
+    One post-order pass over the shared DAG; masks are Python ints used as
+    bitsets, so unioning supports is O(num_vars / machine word).
+    """
+    masks: Dict[int, int] = {0: 0}
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    stack: List[Tuple[int, bool]] = [(r >> 1, False) for r in refs]
+    while stack:
+        idx, expanded = stack.pop()
+        if idx in masks and not expanded:
+            continue
+        if expanded:
+            masks[idx] = ((1 << var_arr[idx])
+                          | masks[lo_arr[idx] >> 1]
+                          | masks[hi_arr[idx] >> 1])
+            continue
+        stack.append((idx, True))
+        stack.append((lo_arr[idx] >> 1, False))
+        stack.append((hi_arr[idx] >> 1, False))
+    return masks
+
+
+def interaction_masks(mgr: BDD, refs: Sequence[int]) -> List[int]:
+    """The variable interaction matrix of a root set, as bitmasks.
+
+    Variables ``x`` and ``y`` *interact* when both occur in the support of
+    one of the ``refs``.  The result maps each var to the bitmask of vars
+    it interacts with (symmetric; a support var always interacts with
+    itself).  When every reachable node is reachable from ``refs`` (the
+    reorderer's session invariant), non-interacting variables at adjacent
+    levels can be swapped as a pure level-map transposition: no node
+    labelled ``x`` can then have ``y`` in its subgraph, because any such
+    node lies in some root cone whose support would contain both.
+    """
+    masks = support_masks(mgr, refs)
+    out = [0] * mgr.num_vars
+    for ref in refs:
+        supp = masks[ref >> 1]
+        rest = supp
+        while rest:
+            low = rest & -rest
+            out[low.bit_length() - 1] |= supp
+            rest ^= low
+    return out
 
 
 def live_node_count(mgr: BDD, refs: Sequence[int]) -> int:

@@ -45,6 +45,13 @@ class BDSOptions:
     use_bdd_mapping: bool = True
     reorder: bool = True
     sift_size_limit: int = 20000
+    # Growth-triggered dynamic reordering (CUDD-style): when > 0 every
+    # manager the flow owns is armed with ``enable_autoreorder``, so a
+    # live-size blowup (eliminate's partial collapses, decomposition
+    # intermediates) fires the method at the next GC safe point instead
+    # of waiting for the per-supernode sift.  0 = off.
+    autoreorder: int = 0
+    autoreorder_method: str = "sift"
     decomp: DecompOptions = field(default_factory=DecompOptions)
     sharing: bool = True
     final_sweep: bool = True
@@ -119,6 +126,8 @@ def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResul
 
     t0 = time.perf_counter()
     part = PartitionedNetwork.from_network(work)
+    if opts.autoreorder:
+        part.mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
     checker.check_partition(part, "partition after construction")
     part.eliminate(threshold=opts.eliminate_threshold,
                    size_cap=opts.eliminate_size_cap,
@@ -208,6 +217,8 @@ def _decompose_supernode(part: PartitionedNetwork, name: str,
     ref = part.refs[name]
     result = transfer_many(part.mgr, [ref])
     mgr, local = result.manager, result.refs[0]
+    if opts.autoreorder:
+        mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
     if opts.reorder and not mgr.is_const(local):
         sift(mgr, [local], size_limit=opts.sift_size_limit)
     tree = decompose(mgr, local, options=opts.decomp, stats=stats)
@@ -227,6 +238,8 @@ def _decompose_worker(payload: Tuple[str, str, BDSOptions]):
     mgr, roots = bdd_loads(text)
     local = roots[0]
     stats = DecompStats()
+    if opts.autoreorder:
+        mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
     if opts.reorder and not mgr.is_const(local):
         sift(mgr, [local], size_limit=opts.sift_size_limit)
     tree = decompose(mgr, local, options=opts.decomp, stats=stats)

@@ -22,8 +22,10 @@ Two levels:
     the live slots, hence no duplicate triples), computed-table hygiene
     (no current-generation entry referencing a tombstoned slot),
     ``_nodes_by_var`` coverage, tombstone/free-list agreement (every dead
-    slot is reusable), and a reachability recount from the registered
-    roots.  O(allocated slots + cache slots).
+    slot is reusable), a recount of the incremental reorder bookkeeping
+    (per-slot reference counts and per-variable node counters that sifting
+    trusts for O(1) size reads), and a reachability recount from the
+    registered roots.  O(allocated slots + cache slots).
 
 On violation a :class:`repro.check.CheckError` is raised carrying every
 finding and a minimized DOT dump of the offending cones.
@@ -33,7 +35,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Set, Tuple
 
-from repro.bdd.manager import BDD, DEAD, ONE, TERMINAL
+from repro.bdd.manager import (BDD, CACHE_TAG_REF_POSITIONS, DEAD, ONE,
+                               TERMINAL)
 from repro.check import CheckError, CheckReport
 
 # Canonical invariant names (stable identifiers; tests assert on these).
@@ -49,20 +52,15 @@ INV_ROOTS = "root_refcount"
 INV_COMPUTED = "computed_table"
 INV_NODES_BY_VAR = "nodes_by_var"
 INV_VAR_MAPS = "var_order_maps"
+INV_REFCOUNT = "node_refcount"
+INV_VAR_COUNTS = "var_counts"
 
 #: For each computed-table key tag, the tuple positions holding BDD refs.
-#: Tags: 0=ite, 1=cofactor, 2=compose, 3=vector_compose, 4=exists,
-#: 5=restrict, 6=constrain, 7=and_exists (see the respective modules).
-_TAG_REF_POSITIONS: Dict[int, Tuple[int, ...]] = {
-    0: (1, 2, 3),
-    1: (1,),
-    2: (1, 3),
-    3: (1,),
-    4: (1,),
-    5: (1, 2),
-    6: (1, 2),
-    7: (1, 2),
-}
+#: Shared with the kernel, which uses it to invalidate order-dependent
+#: entries during reordering (see :data:`repro.bdd.manager.
+#: ORDER_DEPENDENT_TAGS`); a tag added to one side but not the other is a
+#: bug this alias would have hidden as a silent sanitizer gap.
+_TAG_REF_POSITIONS: Dict[int, Tuple[int, ...]] = CACHE_TAG_REF_POSITIONS
 
 #: Cap on reported violations per run (a corrupt manager would otherwise
 #: drown the report in thousands of identical findings).
@@ -94,6 +92,7 @@ def sanitize_bdd(mgr: BDD, level: str = "full", subject: str = "BDD manager",
         _check_computed_table(mgr, report)
         _check_nodes_by_var(mgr, report)
         _check_tombstones(mgr, report, free_set)
+        _check_reorder_bookkeeping(mgr, report)
         _count_reachable(mgr, report)
     report.stats["allocated_slots"] = len(mgr._var)
     report.stats["live_nodes"] = mgr.num_nodes_live
@@ -356,6 +355,65 @@ def _check_tombstones(mgr: BDD, report: CheckReport,
             report.add(INV_TOMBSTONE,
                        "tombstoned slot %d is not on the free list"
                        " (leaked until the next sweep)" % idx, refs=(idx,))
+
+
+def _check_reorder_bookkeeping(mgr: BDD, report: CheckReport) -> None:
+    """The incremental reorder counters must equal recomputed ground truth.
+
+    ``_ref[i]`` is defined as the number of edges into slot ``i`` from
+    allocated non-dead nodes plus the slot's root registrations;
+    ``_var_counts[v]`` as the number of allocated non-dead nodes labelled
+    ``v``.  ``mk``, ``swap_adjacent`` and the GC sweeps maintain both in
+    O(touched nodes), and sifting trusts them for its O(1) live-size
+    reads -- silent drift would corrupt every reordering decision without
+    any crash, which is exactly the failure class a sanitizer exists for.
+    """
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    n = len(var_arr)
+    ref_arr = mgr._ref
+    if len(ref_arr) != n:
+        report.add(INV_REFCOUNT,
+                   "_ref length %d does not match %d allocated slots"
+                   % (len(ref_arr), n))
+        return
+    nvars = mgr.num_vars
+    truth = [0] * n
+    counts = [0] * nvars
+    for idx in range(1, n):
+        var = var_arr[idx]
+        if var == DEAD:
+            continue
+        if 0 <= var < nvars:
+            counts[var] += 1
+        for child in (lo_arr[idx], hi_arr[idx]):
+            cidx = child >> 1
+            if 0 <= cidx < n:
+                truth[cidx] += 1
+    for root, rcount in mgr._roots.items():
+        idx = root >> 1
+        if 0 <= idx < n:
+            truth[idx] += rcount
+    for idx in range(n):
+        if _full(report):
+            return
+        if ref_arr[idx] != truth[idx]:
+            report.add(INV_REFCOUNT,
+                       "slot %d refcount drift: stored %d, recounted %d"
+                       % (idx, ref_arr[idx], truth[idx]),
+                       refs=(idx << 1,) if idx else ())
+    stored = mgr._var_counts
+    if len(stored) != nvars:
+        report.add(INV_VAR_COUNTS,
+                   "_var_counts length %d does not match %d variables"
+                   % (len(stored), nvars))
+        return
+    for var in range(nvars):
+        if _full(report):
+            return
+        if stored[var] != counts[var]:
+            report.add(INV_VAR_COUNTS,
+                       "var %s node-count drift: stored %d, recounted %d"
+                       % (mgr.var_name(var), stored[var], counts[var]))
 
 
 def _count_reachable(mgr: BDD, report: CheckReport) -> None:

@@ -4,7 +4,7 @@ Mirrors how BDS itself was used as a tool::
 
     python -m repro.cli optimize input.blif -o output.blif [--flow bds|sis]
         [--verify [sim|cec|full]] [--map | --lut K] [--balance] [--stats]
-        [--check LEVEL]
+        [--check LEVEL] [--autoreorder N]
     python -m repro.cli generate bshift32 -o bshift32.blif
     python -m repro.cli verify a.blif b.blif [--mode sim|cec|full]
     python -m repro.cli check input.blif [--level cheap|full]
@@ -41,6 +41,7 @@ def _cmd_optimize(args) -> int:
     if args.flow == "bds":
         options = BDSOptions(balance_trees=args.balance,
                              check_level=args.check,
+                             autoreorder=args.autoreorder,
                              verify=verify_mode)
         try:
             result = bds_optimize(net, options)
@@ -205,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="off",
                        help="run the BDD/network invariant sanitizer at "
                             "flow safe points")
+    p_opt.add_argument("--autoreorder", type=int, default=0, metavar="N",
+                       help="fire dynamic variable reordering when a "
+                            "manager grows past N live nodes (0 = off)")
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_gen = sub.add_parser("generate", help="emit a benchmark circuit")

@@ -29,13 +29,16 @@ class Cut(NamedTuple):
     """One horizontal cut.
 
     ``level``: vertices with level >= ``level`` are below the cut.
-    ``targets``: set of phased refs crossed into from above.
+    ``targets``: phased refs crossed into from above, ordered by the
+    canonical (structural) traversal of the root -- so downstream
+    tie-breaks are independent of node-index layout, which reordering
+    is free to permute.
     ``zero_edges`` / ``one_edges``: leaf edges in the cut, identified as
     (parent_ref, slot) pairs -- the ingredients of 0-/1-equivalence.
     """
 
     level: int
-    targets: FrozenSet[int]
+    targets: Tuple[int, ...]
     zero_edges: FrozenSet[Tuple[int, int]]
     one_edges: FrozenSet[Tuple[int, int]]
 
@@ -45,6 +48,7 @@ class Cut(NamedTuple):
         return ONE in self.targets or ZERO in self.targets
 
     def nonterminal_targets(self) -> List[int]:
+        """Non-leaf targets, preserving the canonical target order."""
         return [t for t in self.targets if t > 1]
 
 
@@ -57,7 +61,9 @@ def enumerate_cuts(mgr: BDD, root: int) -> List[Cut]:
     """
     if mgr.is_const(root):
         return []
-    vertices = [v for v in phased_vertices(mgr, root) if not mgr.is_const(v)]
+    order = phased_vertices(mgr, root)
+    rank = {v: i for i, v in enumerate(order)}
+    vertices = [v for v in order if not mgr.is_const(v)]
     used_levels = sorted({mgr.level(v) for v in vertices})
     boundaries = used_levels[1:] + [TERMINAL]
     # Edge list: (parent_level, child_level, child_ref, parent_ref, slot).
@@ -79,8 +85,8 @@ def enumerate_cuts(mgr: BDD, root: int) -> List[Cut]:
                     zero_edges.add((parent, slot))
                 elif child == ONE:
                     one_edges.add((parent, slot))
-        cuts.append(Cut(level, frozenset(targets), frozenset(zero_edges),
-                        frozenset(one_edges)))
+        cuts.append(Cut(level, tuple(sorted(targets, key=rank.__getitem__)),
+                        frozenset(zero_edges), frozenset(one_edges)))
     return cuts
 
 

@@ -51,7 +51,10 @@ def find_simple_decompositions(mgr: BDD, root: int,
     seen = set()
     for cut in cuts:
         targets = cut.targets
-        nonterm = sorted(cut.nonterminal_targets())
+        # Canonical (layout-independent) order decides which target plays
+        # u vs v in the MUX pair, keeping decompositions reproducible
+        # across managers holding the same function in different slots.
+        nonterm = cut.nonterminal_targets()
         has_one = ONE in targets
         has_zero = ZERO in targets
         if len(nonterm) == 1 and has_zero and not has_one:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, NamedTuple, Set
 
 from repro.bdd.manager import BDD, ONE, ZERO
+from repro.bdd.traverse import phased_vertices
 from repro.decomp.cuts import substitute_vertices
 
 
@@ -52,8 +53,13 @@ def generalized_x_dominators(mgr: BDD, root: int) -> List[int]:
         regular.add(hi >> 1)  # then-edges are never complemented
         stack.append(lo >> 1)
         stack.append(hi >> 1)
-    out = sorted((complemented & regular) - {0})
-    return out
+    # Order root-first by the canonical traversal (not by node index,
+    # which reordering is free to permute): callers truncate the list, so
+    # the order must be a property of the function alone.
+    rank: dict = {}
+    for pos, ref in enumerate(reversed(phased_vertices(mgr, root))):
+        rank.setdefault(ref >> 1, pos)
+    return sorted((complemented & regular) - {0}, key=rank.__getitem__)
 
 
 def boolean_xnor_candidates(mgr: BDD, root: int,

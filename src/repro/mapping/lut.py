@@ -61,12 +61,27 @@ def map_luts(net: Network, k: int = 5, max_cuts: int = 12) -> LutMappingResult:
         if v in emitted:
             return emitted[v]
         cut = choice[v]
-        pin_signals = [emit(u) for u in cut]
+        # Global structural hashing can place both a multi-fanout signal's
+        # leaf and its root operator vertex in one cut; both emit the same
+        # signal name, so merge such pins (they are the same logical
+        # signal) to keep the LUT's fanins duplicate-free.
+        pin_signals: List[str] = []
+        pin_groups: List[List[int]] = []
+        index_of: Dict[str, int] = {}
+        for u in sorted(cut):
+            s = emit(u)
+            i = index_of.get(s)
+            if i is None:
+                index_of[s] = len(pin_signals)
+                pin_signals.append(s)
+                pin_groups.append([u])
+            else:
+                pin_groups[i].append(u)
         name = signal_of_root.get(v)
         if name is None:
             counter[0] += 1
             name = "_lut%d" % counter[0]
-        cover = _cut_truth_cover(sg, v, list(cut))
+        cover = _cut_truth_cover(sg, v, pin_groups)
         out_net.add_node(name, pin_signals, cover)
         emitted[v] = name
         return name
@@ -141,14 +156,18 @@ def _enumerate_and_choose(sg: SubjectGraph, k: int, max_cuts: int
     return depth, choice
 
 
-def _cut_truth_cover(sg: SubjectGraph, root: int, pins: List[int]):
-    """Truth table of ``root`` as a function of the cut pins, as a cover."""
-    pin_pos = {u: i for i, u in enumerate(pins)}
+def _cut_truth_cover(sg: SubjectGraph, root: int, pin_groups: List[List[int]]):
+    """Truth table of ``root`` as a function of the cut pins, as a cover.
+
+    ``pin_groups[i]`` lists the cut vertices that all carry LUT input
+    ``i``'s signal; every vertex of a group is assigned that input's value.
+    """
     cover = []
-    for bits in itertools.product([False, True], repeat=len(pins)):
-        env = {u: bits[i] for u, i in pin_pos.items()}
+    for bits in itertools.product([False, True], repeat=len(pin_groups)):
+        env = {u: bits[i] for i, group in enumerate(pin_groups) for u in group}
         if _eval_vertex(sg, root, env):
-            cover.append(frozenset(lit(i, bits[i]) for i in range(len(pins))))
+            cover.append(frozenset(
+                lit(i, bits[i]) for i in range(len(pin_groups))))
     from repro.sop.minimize import simplify_cover
 
     return simplify_cover(cover)

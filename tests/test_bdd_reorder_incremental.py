@@ -1,0 +1,354 @@
+"""Differential tests of the incremental reordering engine.
+
+The tentpole claim of the engine is that the manager's per-slot reference
+counts and per-variable node counters stay *exact* through arbitrary
+interleavings of ``mk``, adjacent swaps, sifting, window passes and
+garbage collection -- exact enough that sifting's inner loop never has to
+re-traverse from the roots to measure size.  These tests pin that claim
+differentially (Hypothesis interleavings audited against ground truth
+recomputed via ``live_nodes``), plus the engine's work-saving layers:
+interaction-matrix swap skipping and lower-bound pruning change the work
+done, never the resulting order or size.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD, transfer_many
+from repro.bdd.manager import DEAD
+from repro.bdd.reorder import (
+    move_var_to_level,
+    random_order,
+    sift,
+    swap_adjacent,
+    window3,
+)
+from repro.bdd.traverse import evaluate, live_nodes
+from repro.check import sanitize_bdd
+
+
+def _random_function(mgr, variables, rng, n_ops=30):
+    refs = [mgr.var_ref(v) for v in variables]
+    for _ in range(n_ops):
+        f, g = rng.choice(refs), rng.choice(refs)
+        if rng.random() < 0.3:
+            f ^= 1
+        refs.append(getattr(mgr, rng.choice(["and_", "or_", "xor_"]))(f, g))
+    return refs
+
+
+def _truth_table(mgr, ref, variables):
+    return tuple(
+        evaluate(mgr, ref, dict(zip(variables, bits)))
+        for bits in itertools.product([False, True], repeat=len(variables))
+    )
+
+
+def _assert_bookkeeping_exact(mgr):
+    """Stored _ref/_var_counts must equal a from-scratch recount."""
+    var_arr, lo_arr, hi_arr = mgr._var, mgr._lo, mgr._hi
+    n = len(var_arr)
+    assert len(mgr._ref) == n
+    truth_ref = [0] * n
+    truth_counts = [0] * mgr.num_vars
+    for idx in range(1, n):
+        var = var_arr[idx]
+        if var == DEAD:
+            continue
+        truth_counts[var] += 1
+        truth_ref[lo_arr[idx] >> 1] += 1
+        truth_ref[hi_arr[idx] >> 1] += 1
+    for root, count in mgr._roots.items():
+        truth_ref[root >> 1] += count
+    assert mgr._ref == truth_ref, "per-slot refcount drift"
+    assert mgr._var_counts == truth_counts, "per-variable count drift"
+
+
+def _assert_counts_match_live(mgr, roots):
+    """At GC safe points the counters must agree with a live traversal."""
+    live = live_nodes(mgr, roots)
+    assert sum(mgr._var_counts) == len(live) - 1
+    by_var = {}
+    for idx in live:
+        if idx:
+            by_var[mgr._var[idx]] = by_var.get(mgr._var[idx], 0) + 1
+    for var in range(mgr.num_vars):
+        assert mgr._var_counts[var] == by_var.get(var, 0)
+
+
+class TestDifferentialBookkeeping:
+    """Satellite: counters/refcounts equal ground truth after arbitrary
+    mk/swap/sift/GC interleavings (Hypothesis + the sanitizer invariant)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_interleavings(self, data):
+        nvars = 5
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(nvars)]
+        rng = random.Random(data.draw(st.integers(0, 2 ** 16), label="seed"))
+        refs = _random_function(mgr, variables, rng, n_ops=12)
+        ops = data.draw(st.lists(
+            st.sampled_from(["mk", "swap", "sift", "window", "move", "gc"]),
+            min_size=1, max_size=8), label="ops")
+        for op in ops:
+            if op == "mk":
+                f, g = rng.choice(refs), rng.choice(refs)
+                refs.append(mgr.and_(f ^ (rng.random() < 0.5), g))
+            elif op == "swap":
+                swap_adjacent(mgr, rng.randrange(nvars - 1))
+            elif op == "sift":
+                sift(mgr, refs)
+            elif op == "window":
+                window3(mgr, refs, passes=1)
+            elif op == "move":
+                var = rng.randrange(nvars)
+                move_var_to_level(mgr, var, rng.randrange(nvars), roots=refs)
+            else:
+                mgr.collect_garbage(extra_roots=refs)
+            _assert_bookkeeping_exact(mgr)
+            if op in ("sift", "window", "move", "gc"):
+                # Safe points: everything allocated is reachable again.
+                _assert_counts_match_live(mgr, refs)
+        # The sanitizer's full level runs the same audits (plus the rest
+        # of the canonicity battery) -- check_level="full" flows see this.
+        sanitize_bdd(mgr, level="full")
+
+    def test_truth_preserved_through_interleaving(self):
+        rng = random.Random(7)
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(5)]
+        refs = _random_function(mgr, variables, rng, n_ops=25)
+        tracked = rng.sample(refs, 6)
+        tables = [_truth_table(mgr, r, variables) for r in tracked]
+        sift(mgr, tracked)
+        window3(mgr, tracked, passes=1)
+        move_var_to_level(mgr, variables[0], 4, roots=tracked)
+        sift(mgr, tracked)
+        assert [_truth_table(mgr, r, variables) for r in tracked] == tables
+
+
+class TestNoTraversalInSiftLoop:
+    """Acceptance: zero full ``live_nodes`` traversals inside the sifting
+    engine -- size comes from the incremental counters alone."""
+
+    def test_sift_never_traverses(self):
+        rng = random.Random(11)
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(8)]
+        refs = _random_function(mgr, variables, rng, n_ops=60)
+        roots = refs[-4:]
+        before = mgr.perf.live_traversals
+        sift(mgr, roots)
+        assert mgr.perf.reorder_swaps > 0
+        assert mgr.perf.live_traversals == before, (
+            "sift fell back to a full live-node traversal")
+
+    def test_window_and_move_never_traverse(self):
+        rng = random.Random(13)
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(6)]
+        refs = _random_function(mgr, variables, rng, n_ops=40)
+        roots = refs[-3:]
+        before = mgr.perf.live_traversals
+        window3(mgr, roots, passes=2)
+        move_var_to_level(mgr, variables[2], 0, roots=roots)
+        move_var_to_level(mgr, variables[2], 5, roots=roots)
+        assert mgr.perf.live_traversals == before
+
+
+def _two_group_manager():
+    """Vars from two disjoint supports, interleaved in the order.
+
+    Roots: a parity over the a-group and a conjunction over the b-group;
+    no variable of one group interacts with any of the other.
+    """
+    mgr = BDD()
+    a = [mgr.new_var("a%d" % i) for i in range(3)]
+    b = [mgr.new_var("b%d" % i) for i in range(3)]
+    # Interleave the groups in the level order: a0 b0 a1 b1 a2 b2.
+    for i, var in enumerate([a[0], b[0], a[1], b[1], a[2], b[2]]):
+        move_var_to_level(mgr, var, i)
+    parity = mgr.var_ref(a[0])
+    for v in a[1:]:
+        parity = mgr.xor_(parity, mgr.var_ref(v))
+    conj = mgr.var_ref(b[0])
+    for v in b[1:]:
+        conj = mgr.and_(conj, mgr.var_ref(v))
+    return mgr, a + b, [parity, conj]
+
+
+class TestInteractionMatrix:
+    """Non-co-occurring variables swap as O(1) map flips; disabling the
+    matrix changes the work done, never the resulting order or size."""
+
+    def test_skips_on_disjoint_supports(self):
+        mgr, variables, roots = _two_group_manager()
+        tables = [_truth_table(mgr, r, variables) for r in roots]
+        size = sift(mgr, roots)
+        assert mgr.perf.reorder_swaps_skipped > 0
+        assert [_truth_table(mgr, r, variables) for r in roots] == tables
+        assert size == mgr.num_nodes_live
+
+    def test_same_result_without_matrix(self):
+        mgr1, _, roots1 = _two_group_manager()
+        mgr2, _, roots2 = _two_group_manager()
+        size1 = sift(mgr1, roots1, interactions=True)
+        size2 = sift(mgr2, roots2, interactions=False)
+        assert size1 == size2
+        assert mgr1._level2var == mgr2._level2var
+        assert mgr2.perf.reorder_swaps_skipped == 0
+
+    def test_single_root_all_support_interacts(self):
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(4)]
+        f = mgr.var_ref(variables[0])
+        for v in variables[1:]:
+            f = mgr.or_(f, mgr.var_ref(v))
+        sift(mgr, [f])
+        assert mgr.perf.reorder_swaps_skipped == 0
+
+
+class TestLowerBoundPruning:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2 ** 16))
+    def test_prune_parity(self, seed):
+        rng = random.Random(seed)
+        orders, sizes, swaps = [], [], []
+        for prune in (True, False):
+            mgr = BDD()
+            variables = [mgr.new_var() for _ in range(6)]
+            refs = _random_function(mgr, variables, random.Random(seed),
+                                    n_ops=30)
+            sizes.append(sift(mgr, refs[-4:], prune=prune))
+            orders.append(list(mgr._level2var))
+            swaps.append(mgr.perf.reorder_swaps)
+        assert sizes[0] == sizes[1]
+        assert orders[0] == orders[1]
+        assert swaps[0] <= swaps[1], "pruning may only reduce swaps"
+
+
+class TestAutoreorder:
+    def _grow(self, mgr, variables, rng, n_ops):
+        refs = _random_function(mgr, variables, rng, n_ops=n_ops)
+        return refs[-6:]
+
+    def test_trigger_fires_at_safe_point(self):
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(10)]
+        mgr.enable_autoreorder(threshold=40)
+        roots = self._grow(mgr, variables, random.Random(3), 120)
+        tables = [_truth_table(mgr, r, variables) for r in roots]
+        assert mgr._reorder_pending  # mk crossed the threshold
+        mgr.maybe_collect(roots)
+        assert mgr.perf.autoreorder_triggers == 1
+        assert not mgr._reorder_pending
+        assert mgr._autoreorder_threshold >= 40
+        assert [_truth_table(mgr, r, variables) for r in roots] == tables
+        _assert_bookkeeping_exact(mgr)
+
+    def test_threshold_raised_after_fire(self):
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(10)]
+        mgr.enable_autoreorder(threshold=40)
+        roots = self._grow(mgr, variables, random.Random(3), 120)
+        mgr.maybe_collect(roots)
+        assert mgr._autoreorder_threshold >= 2 * mgr.num_nodes_live
+
+    def test_disable_clears_pending(self):
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(10)]
+        mgr.enable_autoreorder(threshold=10)
+        roots = self._grow(mgr, variables, random.Random(5), 60)
+        assert mgr._reorder_pending
+        mgr.disable_autoreorder()
+        mgr.maybe_collect(roots)
+        assert mgr.perf.autoreorder_triggers == 0
+
+    def test_window3_method(self):
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(8)]
+        mgr.enable_autoreorder(threshold=30, method="window3")
+        roots = self._grow(mgr, variables, random.Random(9), 80)
+        mgr.maybe_collect(roots)
+        assert mgr.perf.autoreorder_triggers == 1
+
+    def test_rejects_bad_arguments(self):
+        mgr = BDD()
+        try:
+            mgr.enable_autoreorder(threshold=10, method="nope")
+            assert False, "unknown method accepted"
+        except ValueError:
+            pass
+        try:
+            mgr.enable_autoreorder(threshold=0)
+            assert False, "non-positive threshold accepted"
+        except ValueError:
+            pass
+
+    def test_flow_with_autoreorder_is_equivalent(self):
+        from repro.bds import BDSOptions, bds_optimize
+        from repro.circuits import build_circuit
+
+        net = build_circuit("add8")
+        result = bds_optimize(net, BDSOptions(autoreorder=64, verify="sim"))
+        assert result.perf["autoreorder_triggers"] >= 0  # armed, may fire
+        result2 = bds_optimize(
+            net, BDSOptions(autoreorder=64, autoreorder_method="window3",
+                            verify="sim"))
+        assert result2.network.stats()["nodes"] > 0
+
+
+class TestRandomOrderRoundTrip:
+    """Satellite: ``random_order`` keeps every function and both
+    var<->level maps intact for any permutation it lands on."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2 ** 16), st.integers(0, 2 ** 16))
+    def test_round_trip(self, fn_seed, order_seed):
+        mgr = BDD()
+        variables = [mgr.new_var() for _ in range(5)]
+        refs = _random_function(mgr, variables, random.Random(fn_seed),
+                                n_ops=20)
+        roots = refs[-4:]
+        tables = [_truth_table(mgr, r, variables) for r in roots]
+        random_order(mgr, random.Random(order_seed))
+        # var2level and level2var must still be inverse permutations.
+        for var, lvl in enumerate(mgr._var2level):
+            assert mgr._level2var[lvl] == var
+        assert [_truth_table(mgr, r, variables) for r in roots] == tables
+        _assert_bookkeeping_exact(mgr)
+        sanitize_bdd(mgr, level="full")
+        # And the shuffled manager still sifts back down.
+        shuffled = mgr.num_nodes_live
+        assert sift(mgr, roots) <= shuffled
+
+
+class TestSessionReclamation:
+    """In-session swaps reclaim dead nodes eagerly; sizes read from the
+    counters equal a post-hoc traversal at every safe point."""
+
+    def test_transfer_then_sift_matches_traversal(self):
+        rng = random.Random(21)
+        src = BDD()
+        variables = [src.new_var() for _ in range(7)]
+        refs = _random_function(src, variables, rng, n_ops=50)
+        result = transfer_many(src, [refs[-1]])
+        mgr, root = result.manager, result.refs[0]
+        final = sift(mgr, [root])
+        assert final == len(live_nodes(mgr, [root])) - 1
+        _assert_bookkeeping_exact(mgr)
+
+    def test_standalone_swap_keeps_unreachable_nodes(self):
+        # Outside a session nothing may be reclaimed: callers can hold
+        # refs the manager does not know about.
+        mgr = BDD()
+        a, b = mgr.new_var(), mgr.new_var()
+        f = mgr.and_(mgr.var_ref(a), mgr.var_ref(b))
+        allocated = mgr.num_nodes_live
+        swap_adjacent(mgr, 0)
+        swap_adjacent(mgr, 0)
+        assert mgr.num_nodes_live >= allocated
+        assert _truth_table(mgr, f, [a, b]) == (False, False, False, True)

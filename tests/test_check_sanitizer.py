@@ -21,6 +21,8 @@ from repro.check.bdd_sanitizer import (
     INV_NODES_BY_VAR,
     INV_ORDER,
     INV_REDUNDANT,
+    INV_REFCOUNT,
+    INV_VAR_COUNTS,
     INV_ROOTS,
     INV_TERMINAL,
     INV_TOMBSTONE,
@@ -164,6 +166,32 @@ def test_missing_nodes_by_var_entry():
     mgr, (a, _, _), _ = small_mgr()
     mgr._nodes_by_var[a] = []
     expect_invariant(mgr, INV_NODES_BY_VAR, level="full")
+
+
+def test_refcount_drift():
+    # The exact drift an unbalanced swap/reclaim would leave behind: a
+    # stored per-slot count off by one versus the recount.
+    mgr, _, (f, _) = small_mgr()
+    mgr._ref[f >> 1] += 1
+    expect_invariant(mgr, INV_REFCOUNT, level="full")
+    mgr._ref[f >> 1] -= 1
+    assert sanitize_bdd(mgr, level="full").ok
+
+
+def test_refcount_array_length_mismatch():
+    mgr, _, _ = small_mgr()
+    mgr._ref.append(0)
+    expect_invariant(mgr, INV_REFCOUNT, level="full")
+
+
+def test_var_count_drift():
+    mgr, (a, _, _), _ = small_mgr()
+    mgr._var_counts[a] += 1
+    expect_invariant(mgr, INV_VAR_COUNTS, level="full")
+    # Cheap level does not recount (it is an O(slots) structural pass).
+    mgr2, (a2, _, _), _ = small_mgr()
+    mgr2._var_counts[a2] += 1
+    assert sanitize_bdd(mgr2, level="cheap").ok
 
 
 def test_corrupt_terminal_slot():

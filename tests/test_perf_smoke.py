@@ -40,6 +40,27 @@ def test_flow_kernel_health_on_c880():
     assert elapsed < 30.0
 
 
+def test_reorder_swap_budget_on_c1355():
+    """Counter-based (deterministic) budget on the sifting engine.
+
+    The flow's per-supernode sifts on C1355 take ~5.7k adjacent swaps
+    with lower-bound pruning in place; losing the prune (or regressing to
+    full per-variable sweeps) multiplies that by 3-4x.  Counters, not
+    wall-clock, so the budget is machine-independent.
+    """
+    net = build_circuit("C1355")
+    result = bds_optimize(net, BDSOptions())
+    perf = result.perf
+    assert perf["reorder_passes"] > 0
+    assert perf["reorder_swaps"] <= 8000, (
+        "sifting swap budget blown: %d swaps (pruning regression?)"
+        % perf["reorder_swaps"])
+    # The incremental engine never re-traverses from the roots to measure
+    # size: the only full traversals are the decompose entry counts, one
+    # per decomposition pass -- nowhere near one per swap.
+    assert perf["live_traversals"] < perf["reorder_swaps"] / 10
+
+
 def test_gc_reclaims_during_eliminate():
     net = build_circuit("C1355")
     result = bds_optimize(net, BDSOptions())
