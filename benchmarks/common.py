@@ -98,12 +98,15 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def write_bench_json(payload: Dict, filename: str,
-                     root_copy: bool = False) -> str:
+                     root_copy: bool = True) -> str:
     """Write machine-readable bench metrics next to the text tables.
 
-    Future PRs diff these files to track the perf trajectory.  With
-    ``root_copy`` the file is also placed at the repository root, where
-    cross-PR tooling picks it up without knowing the results layout.
+    Future PRs diff these files to track the perf trajectory.  Every
+    ``BENCH_*.json`` lands in *both* canonical locations -- the results
+    dir and the repository root -- so cross-PR tooling finds them without
+    knowing the results layout (``root_copy=False`` opts out for
+    non-baseline payloads).  ``aggregate_bench_json`` folds all of them
+    into ``BENCH_all.json``.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
@@ -122,6 +125,25 @@ def write_kernel_json(payload: Dict, filename: str = "BENCH_kernel.json") -> str
     return write_bench_json(payload, filename)
 
 
+def aggregate_bench_json(filename: str = "BENCH_all.json") -> Dict:
+    """Merge every committed ``BENCH_*.json`` baseline into one document.
+
+    The aggregate maps each baseline's short name (``kernel`` for
+    ``BENCH_kernel.json``, ...) to its payload and is written to both
+    canonical locations like any other baseline.  Run directly as
+    ``python benchmarks/common.py`` after regenerating benchmarks.
+    """
+    merged: Dict[str, Dict] = {}
+    for name in sorted(os.listdir(RESULTS_DIR)):
+        if (not name.startswith("BENCH_") or not name.endswith(".json")
+                or name == filename):
+            continue
+        with open(os.path.join(RESULTS_DIR, name)) as fh:
+            merged[name[len("BENCH_"):-len(".json")]] = json.load(fh)
+    write_bench_json(merged, filename)
+    return merged
+
+
 def format_table(title: str, header: str, rows: list, footer: str = "") -> str:
     lines = [title, "-" * len(header), header, "-" * len(header)]
     lines.extend(rows)
@@ -129,3 +151,9 @@ def format_table(title: str, header: str, rows: list, footer: str = "") -> str:
     if footer:
         lines.append(footer)
     return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    merged = aggregate_bench_json()
+    print("BENCH_all.json: merged %d baseline(s): %s"
+          % (len(merged), ", ".join(sorted(merged))))

@@ -68,6 +68,12 @@ def loads(text: str, mgr: Optional[BDD] = None) -> Tuple[BDD, List[int]]:
     When ``mgr`` is given, variables are matched by name (created as
     needed) and nodes rebuilt through ITE so any variable order works;
     otherwise a fresh manager with the dumped order is created.
+
+    Every malformed input -- wrong field counts, non-integer tokens,
+    dangling child/root references, stray lines -- raises
+    :class:`ValueError` (never ``KeyError``/``IndexError``), so callers
+    persisting dumps on disk (the artifact cache, the process pool) can
+    treat any damage as "corrupt input" with one except clause.
     """
     lines = [l for l in text.splitlines() if l.strip()]
     if not lines or not lines[0].startswith(".bdd"):
@@ -75,6 +81,7 @@ def loads(text: str, mgr: Optional[BDD] = None) -> Tuple[BDD, List[int]]:
     var_names: List[str] = []
     node_lines: List[Tuple[int, int, int, int]] = []
     roots_spec: List[int] = []
+    saw_roots = False
     section: Optional[str] = None
     for line in lines[1:]:
         if line.startswith(".vars"):
@@ -82,10 +89,21 @@ def loads(text: str, mgr: Optional[BDD] = None) -> Tuple[BDD, List[int]]:
         elif line.startswith(".nodes"):
             section = "nodes"
         elif line.startswith(".roots"):
-            roots_spec = [int(t) for t in line.split()[1:]]
+            saw_roots = True
+            roots_spec = [_int_token(t, line) for t in line.split()[1:]]
         elif section == "nodes":
-            a, b, c, d = (int(t) for t in line.split())
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(
+                    "corrupt BDD dump: expected 4 fields in node line %r"
+                    % line)
+            a, b, c, d = (_int_token(t, line) for t in parts)
             node_lines.append((a, b, c, d))
+        else:
+            raise ValueError("corrupt BDD dump: unexpected line %r" % line)
+    if not saw_roots:
+        # dumps always emits .roots last; its absence means truncation.
+        raise ValueError("corrupt BDD dump: missing .roots section")
     if mgr is None:
         mgr = BDD()
     var_of: Dict[int, int] = {}
@@ -102,7 +120,22 @@ def loads(text: str, mgr: Optional[BDD] = None) -> Tuple[BDD, List[int]]:
     for node_id, var_idx, lo, hi in node_lines:
         if (lo >> 1) not in built or (hi >> 1) not in built:
             raise ValueError("node %d references undumped children" % node_id)
+        if var_idx not in var_of:
+            raise ValueError("corrupt BDD dump: node %d uses undumped "
+                             "variable index %d" % (node_id, var_idx))
         lo_ref, hi_ref = resolve(lo), resolve(hi)
         built[node_id] = mgr.ite(mgr.var_ref(var_of[var_idx]), hi_ref, lo_ref)
+    for r in roots_spec:
+        if (r >> 1) not in built:
+            raise ValueError("corrupt BDD dump: root %d references an "
+                             "undumped node" % r)
     roots = [resolve(r) for r in roots_spec]
     return mgr, roots
+
+
+def _int_token(token: str, line: str) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ValueError("corrupt BDD dump: non-integer token %r in line %r"
+                         % (token, line)) from None

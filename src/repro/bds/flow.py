@@ -20,9 +20,11 @@ supernode count, BDD-mapping invocations).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bdd import transfer_many
 from repro.bdd.reorder import sift
@@ -88,6 +90,51 @@ class BDSOptions:
     # proof attempt.
     verify_budget: Optional[float] = None
 
+    #: Fields that never change the optimized network or its verdict:
+    #: ``jobs`` only fans the same deterministic work out over processes,
+    #: and ``check_level`` runs (or skips) internal audits.  They are
+    #: excluded from :meth:`cache_key` so e.g. a ``jobs=4`` batch run can
+    #: reuse artifacts produced by a ``jobs=1`` run.
+    NON_SEMANTIC_FIELDS = ("jobs", "check_level")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot (nested :class:`DecompOptions` inline)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BDSOptions":
+        """Rebuild options from :meth:`to_dict` output.
+
+        Unknown keys are ignored and missing keys take their defaults, so
+        snapshots recorded by an older or newer revision still load.
+        """
+        decomp_data = data.get("decomp") or {}
+        decomp_fields = {f.name for f in fields(DecompOptions)}
+        decomp = DecompOptions(**{k: v for k, v in decomp_data.items()
+                                  if k in decomp_fields})
+        opt_fields = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items()
+                  if k in opt_fields and k != "decomp"}
+        return cls(decomp=decomp, **kwargs)
+
+    def cache_key(self) -> str:
+        """Stable content hash of every *semantic* option field.
+
+        Two option objects with the same key produce the same optimized
+        network and verify verdict, so artifacts may be shared between
+        them; any semantic field change changes the key.  The key is
+        independent of field declaration/insertion order (the snapshot is
+        serialized with sorted keys) and of :data:`NON_SEMANTIC_FIELDS`.
+        """
+        snap = self.to_dict()
+        for name in self.NON_SEMANTIC_FIELDS:
+            snap.pop(name, None)
+        # None and inf survive JSON poorly (inf is not valid JSON); repr
+        # through default=str keeps the encoding total and deterministic.
+        text = json.dumps(snap, sort_keys=True, default=str,
+                          allow_nan=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class BDSResult:
@@ -109,12 +156,28 @@ class BDSResult:
                    " ".join("%s=%.3fs" % kv for kv in sorted(self.timings.items()))))
 
 
-def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResult:
-    """Run the full BDS flow on a copy of ``net``."""
+def bds_optimize(net: Network, options: Optional[BDSOptions] = None,
+                 cache: Optional[Any] = None) -> BDSResult:
+    """Run the full BDS flow on a copy of ``net``.
+
+    ``cache`` (a :class:`repro.service.cache.ArtifactCache`) short-circuits
+    the whole flow on a content hit -- the stored network, perf counters
+    and verify verdict are returned without recomputation -- and stores
+    the artifact on a miss.  Cache traffic lands in ``BDSResult.perf`` as
+    the ``artifact_cache_*`` counters.
+    """
     opts = options or BDSOptions()
     if opts.verify not in VERIFY_MODES:
         raise ValueError("verify must be one of %r, got %r"
                          % (VERIFY_MODES, opts.verify))
+    cache_key = None
+    if cache is not None:
+        t0 = time.perf_counter()
+        cache_key = cache.key_for(net, opts)
+        artifact = cache.lookup(cache_key)
+        if artifact is not None:
+            return _result_from_artifact(artifact,
+                                         time.perf_counter() - t0)
     checker = Checker(opts.check_level)
     timings: Dict[str, float] = {}
     work = net.copy()
@@ -205,10 +268,34 @@ def bds_optimize(net: Network, options: Optional[BDSOptions] = None) -> BDSResul
     perf_snaps.extend(part.perf_history)
     perf_snaps.append(part.mgr.perf_snapshot())
     perf_snaps.append(checker.snapshot())
-    return BDSResult(gate_net, stats, timings, supernodes=len(trees),
-                     mapping_count=part.mapping_count,
-                     perf=merge_snapshots(perf_snaps),
-                     verify_unknown_outputs=verify_unknown)
+    result = BDSResult(gate_net, stats, timings, supernodes=len(trees),
+                       mapping_count=part.mapping_count,
+                       perf=merge_snapshots(perf_snaps),
+                       verify_unknown_outputs=verify_unknown)
+    if cache is not None and cache_key is not None:
+        # Store the artifact *without* cache-traffic counters (they
+        # describe this call, not the artifact), then report the miss.
+        from repro.service.cache import Artifact
+
+        cache.store(cache_key, Artifact.from_result(result, opts))
+        result.perf = merge_snapshots([result.perf,
+                                       {"artifact_cache_misses": 1.0,
+                                        "artifact_cache_stores": 1.0}])
+    return result
+
+
+def _result_from_artifact(artifact: Any, lookup_time: float) -> BDSResult:
+    """Rebuild a :class:`BDSResult` from a cache hit."""
+    stats = DecompStats()
+    stats.merge(artifact.decomp_stats)
+    perf = merge_snapshots([artifact.perf, {"artifact_cache_hits": 1.0}])
+    return BDSResult(artifact.network(), stats,
+                     {"cache_lookup": lookup_time},
+                     supernodes=artifact.supernodes,
+                     mapping_count=artifact.mapping_count,
+                     perf=perf,
+                     verify_unknown_outputs=list(
+                         artifact.verify_unknown_outputs))
 
 
 def _decompose_supernode(part: PartitionedNetwork, name: str,

@@ -10,15 +10,20 @@ Mirrors how BDS itself was used as a tool::
     python -m repro.cli check input.blif [--level cheap|full]
     python -m repro.cli fuzz [--minutes N] [--seed S] [--jobs J]
         [--corpus DIR]
+    python -m repro.cli batch <dir-or-files...> [--cache-dir DIR]
+        [--jobs J] [--timeout S] [--out-dir DIR] [--json]
+    python -m repro.cli serve [--cache-dir DIR] [--jobs J] [--timeout S]
 
 Exit codes: 0 clean; 1 failure (verification mismatch, lint violation,
-fuzz find); 2 inconclusive (outputs the size-capped verifier could not
-prove) or parse error for ``check``.
+fuzz find, failed/timed-out batch job); 2 inconclusive (outputs the
+size-capped verifier could not prove) or parse error for ``check``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -37,6 +42,12 @@ def _cmd_optimize(args) -> int:
         net = parse_blif(fh.read())
     verify_mode = args.verify or "off"
     unknown = []
+    perf = {}
+    cache = None
+    if args.cache_dir:
+        from repro.service import ArtifactCache
+
+        cache = ArtifactCache(args.cache_dir)
     t0 = time.perf_counter()
     if args.flow == "bds":
         options = BDSOptions(balance_trees=args.balance,
@@ -44,7 +55,7 @@ def _cmd_optimize(args) -> int:
                              autoreorder=args.autoreorder,
                              verify=verify_mode)
         try:
-            result = bds_optimize(net, options)
+            result = bds_optimize(net, options, cache=cache)
         except VerifyError as exc:
             print("VERIFICATION FAILED (%s) at output %s, e.g. %r"
                   % (exc.mode, exc.failing_output, exc.counterexample),
@@ -52,6 +63,7 @@ def _cmd_optimize(args) -> int:
             return 1
         optimized = result.network
         unknown = result.verify_unknown_outputs
+        perf = result.perf
         if args.stats:
             print("decompositions:", result.decomp_stats.as_dict(),
                   file=sys.stderr)
@@ -88,10 +100,26 @@ def _cmd_optimize(args) -> int:
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
-    else:
+    elif not args.json:
         sys.stdout.write(text)
     # Unproven outputs are not a pass: distinct exit code so scripts notice.
-    return 2 if unknown else 0
+    rc = 2 if unknown else 0
+    if args.json:
+        # One JSON object on stdout: the flow's perf counters (incl. the
+        # artifact_cache_* traffic when --cache-dir is given) plus the
+        # run facts scripts key on.  The BLIF goes to -o, never stdout.
+        obj = {
+            "input": net.stats(),
+            "output": optimized.stats(),
+            "cpu_s": round(cpu, 6),
+            "verify_mode": verify_mode,
+            "verify_unknown_outputs": sorted(unknown),
+            "cached": bool(perf.get("artifact_cache_hits", 0)),
+            "perf": perf,
+            "exit_code": rc,
+        }
+        print(json.dumps(obj, sort_keys=True))
+    return rc
 
 
 def _cmd_generate(args) -> int:
@@ -157,6 +185,100 @@ def _cmd_fuzz(args) -> int:
     return 1 if report.failures else 0
 
 
+def _batch_inputs(paths) -> list:
+    """Expand file/directory arguments to a sorted BLIF file list."""
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(os.path.join(path, name)
+                         for name in sorted(os.listdir(path))
+                         if name.endswith(".blif"))
+        else:
+            files.append(path)
+    return files
+
+
+def _service_from_args(args):
+    from repro.service import ArtifactCache, OptimizationService
+
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    return OptimizationService(cache=cache, max_workers=args.jobs,
+                               default_timeout=args.timeout)
+
+
+def _cmd_batch(args) -> int:
+    """Optimize a set of BLIFs through the service (cache + scheduler).
+
+    Exit 0 when every job succeeded and was fully proven, 1 when any job
+    failed / timed out / was cancelled, 2 when all jobs succeeded but
+    some outputs stayed UNPROVEN under the verifier's cap.
+    """
+    from repro.service import ServiceRequest
+
+    files = _batch_inputs(args.inputs)
+    if not files:
+        print("batch: no BLIF inputs found", file=sys.stderr)
+        return 1
+    options = BDSOptions(balance_trees=args.balance, check_level=args.check,
+                         verify=args.verify or "off")
+    service = _service_from_args(args)
+    requests = []
+    for path in files:
+        with open(path) as fh:
+            requests.append(ServiceRequest(blif=fh.read(), options=options,
+                                           name=path, timeout=args.timeout))
+    t0 = time.perf_counter()
+    responses = service.process(requests)
+    elapsed = time.perf_counter() - t0
+    any_failed = any(not r.ok for r in responses)
+    any_unknown = any(r.verify_unknown_outputs for r in responses)
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+    for path, resp in zip(files, responses):
+        if args.out_dir and resp.ok and resp.blif is not None:
+            stem = os.path.splitext(os.path.basename(path))[0]
+            with open(os.path.join(args.out_dir, stem + ".opt.blif"),
+                      "w") as fh:
+                fh.write(resp.blif)
+        if not args.json:
+            note = "cached" if resp.cached else "%.2fs" % resp.elapsed
+            print("%-40s %-9s %s%s"
+                  % (path, resp.status, note,
+                     " [%s]" % resp.error if resp.error else ""),
+                  file=sys.stderr)
+    hits = sum(r.perf.get("artifact_cache_hits", 0) for r in responses)
+    misses = sum(r.perf.get("artifact_cache_misses", 0) for r in responses)
+    if args.json:
+        obj = {
+            "results": [{k: v for k, v in r.to_json_obj().items()
+                         if k != "blif"} for r in responses],
+            "files": files,
+            "elapsed_s": round(elapsed, 6),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache": (service.cache.perf_snapshot()
+                      if service.cache is not None else {}),
+        }
+        print(json.dumps(obj, sort_keys=True))
+    else:
+        print("batch: %d file(s) in %.2fs -- %d ok (%d cached), %d failed"
+              % (len(files), elapsed, sum(r.ok for r in responses),
+                 sum(r.cached for r in responses),
+                 sum(not r.ok for r in responses)), file=sys.stderr)
+    if any_failed:
+        return 1
+    return 2 if any_unknown else 0
+
+
+def _cmd_serve(args) -> int:
+    """Long-lived JSON-lines daemon: one request per stdin line, one
+    response per stdout line (see docs/SERVICE.md for the wire format)."""
+    service = _service_from_args(args)
+    served = service.serve(sys.stdin, sys.stdout)
+    print("serve: handled %d request(s)" % served, file=sys.stderr)
+    return 0
+
+
 def _cmd_check(args) -> int:
     """Lint a BLIF netlist; exit 1 on violations, 2 on parse errors."""
     with open(args.input) as fh:
@@ -209,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--autoreorder", type=int, default=0, metavar="N",
                        help="fire dynamic variable reordering when a "
                             "manager grows past N live nodes (0 = off)")
+    p_opt.add_argument("--json", action="store_true",
+                       help="print the run's perf counters (incl. "
+                            "artifact-cache traffic) as one JSON object "
+                            "on stdout; the network then only goes to -o")
+    p_opt.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed artifact cache: a prior "
+                            "result for the same input x options is "
+                            "returned without re-running the flow")
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_gen = sub.add_parser("generate", help="emit a benchmark circuit")
@@ -251,6 +381,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("input")
     p_chk.add_argument("--level", choices=["cheap", "full"], default="full")
     p_chk.set_defaults(func=_cmd_check)
+
+    p_bat = sub.add_parser("batch", help="optimize many BLIFs through the "
+                                         "cache-backed service")
+    p_bat.add_argument("inputs", nargs="+",
+                       help="BLIF files and/or directories of *.blif")
+    p_bat.add_argument("--cache-dir", metavar="DIR",
+                       help="artifact cache directory (omit to disable "
+                            "result reuse)")
+    p_bat.add_argument("--out-dir", metavar="DIR",
+                       help="write each result as <name>.opt.blif here")
+    p_bat.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1)")
+    p_bat.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock budget in seconds")
+    p_bat.add_argument("--verify", nargs="?", const="cec", default=None,
+                       choices=["sim", "cec", "full"], metavar="MODE",
+                       help="verify every result inside the flow; cached "
+                            "artifacts carry their stored verdict")
+    p_bat.add_argument("--balance", action="store_true")
+    p_bat.add_argument("--check", choices=["off", "cheap", "full"],
+                       default="off")
+    p_bat.add_argument("--json", action="store_true",
+                       help="print one JSON summary object on stdout")
+    p_bat.set_defaults(func=_cmd_batch)
+
+    p_srv = sub.add_parser("serve", help="JSON-lines optimization daemon "
+                                         "on stdin/stdout")
+    p_srv.add_argument("--cache-dir", metavar="DIR")
+    p_srv.add_argument("--jobs", type=int, default=1)
+    p_srv.add_argument("--timeout", type=float, default=None, metavar="S")
+    p_srv.set_defaults(func=_cmd_serve)
     return parser
 
 

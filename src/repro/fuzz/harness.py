@@ -81,14 +81,22 @@ class FuzzReport:
 def run_case(net: Network, options: BDSOptions,
              map_mode: Optional[str] = None,
              size_cap: int = CROSS_CHECK_CAP,
-             seed: int = 1355) -> Optional[Failure]:
-    """Run the flow (and optional mapping) on ``net``; None when clean."""
+             seed: int = 1355, check_cache: bool = False) -> Optional[Failure]:
+    """Run the flow (and optional mapping) on ``net``; None when clean.
+
+    ``check_cache`` additionally runs the case twice through a throwaway
+    artifact cache (cold store, then warm hit) and requires the cached
+    result to agree byte-for-byte with the cold run -- the differential
+    guard for the ``repro.service`` cache path.
+    """
     try:
         result = bds_optimize(net, options)
     except Exception as exc:
         return Failure("crash", "flow",
                        "%s: %s" % (type(exc).__name__, exc))
     failure = _cross_check(net, result.network, "flow", size_cap, seed)
+    if failure is None and check_cache:
+        failure = _cache_differential(net, options)
     if failure is not None or not map_mode:
         return failure
     try:
@@ -104,9 +112,11 @@ def shrink_failure(net: Network, options: BDSOptions,
                    max_checks: int = 300,
                    deadline: Optional[float] = None) -> Network:
     """Delta-debug ``net`` to a minimal input still failing the same way."""
+    check_cache = failure.stage == "cache"
 
     def fails(candidate: Network) -> bool:
-        got = run_case(candidate, options, map_mode)
+        got = run_case(candidate, options, map_mode,
+                       check_cache=check_cache)
         return (got is not None and got.kind == failure.kind
                 and got.stage == failure.stage)
 
@@ -185,21 +195,25 @@ def run_fuzz(budget_seconds: float = 60.0, seed: int = 0, jobs: int = 1,
 def _sample_payload(rng: "Any", shrink_checks: int,
                     shrink_seconds: float) -> Tuple[Dict[str, Any],
                                                     Dict[str, Any],
-                                                    Optional[str], int, float]:
+                                                    Optional[str], int, float,
+                                                    bool]:
     spec = sample_spec(rng)
     options, map_mode = sample_options(rng)
+    # ~1 in 8 cases also cross the artifact-cache path (cold vs warm).
+    check_cache = rng.random() < 0.125
     return (spec.as_dict(), options_to_dict(options), map_mode,
-            shrink_checks, shrink_seconds)
+            shrink_checks, shrink_seconds, check_cache)
 
 
 def _fuzz_one(payload: Tuple[Dict[str, Any], Dict[str, Any], Optional[str],
-                             int, float]) -> Optional[Dict[str, Any]]:
+                             int, float, bool]) -> Optional[Dict[str, Any]]:
     """One full iteration: build, run, and on failure shrink + serialize."""
-    spec_d, opts_d, map_mode, shrink_checks, shrink_seconds = payload
+    spec_d, opts_d, map_mode, shrink_checks, shrink_seconds, check_cache = \
+        payload
     spec = spec_from_dict(spec_d)
     options = options_from_dict(opts_d)
     net = spec.build()
-    failure = run_case(net, options, map_mode)
+    failure = run_case(net, options, map_mode, check_cache=check_cache)
     if failure is None:
         return None
     shrunk = shrink_failure(net, options, map_mode, failure,
@@ -207,7 +221,8 @@ def _fuzz_one(payload: Tuple[Dict[str, Any], Dict[str, Any], Optional[str],
                             deadline=time.monotonic() + shrink_seconds)
     # Re-derive the failure facts on the minimized netlist (the failing
     # output / counterexample usually change as the circuit shrinks).
-    final = run_case(shrunk, options, map_mode) or failure
+    final = run_case(shrunk, options, map_mode,
+                     check_cache=check_cache) or failure
     return {
         "spec": spec_d, "options": opts_d, "map_mode": map_mode,
         "kind": final.kind, "stage": final.stage, "detail": final.detail,
@@ -240,6 +255,33 @@ def _corpus_meta(record: FailureRecord, seed: int) -> Dict[str, Any]:
         "options": record.options,
         "map_mode": record.map_mode,
     }
+
+
+def _cache_differential(net: Network,
+                        options: BDSOptions) -> Optional[Failure]:
+    """Cold-store then warm-hit the case in a throwaway cache; the cached
+    network must be byte-identical to the cold run's."""
+    import tempfile
+
+    from repro.service.cache import ArtifactCache
+
+    with tempfile.TemporaryDirectory() as td:
+        cache = ArtifactCache(td)
+        try:
+            cold = bds_optimize(net, options, cache=cache)
+            warm = bds_optimize(net, options, cache=cache)
+        except Exception as exc:
+            return Failure("crash", "cache",
+                           "%s: %s" % (type(exc).__name__, exc))
+        if warm.perf.get("artifact_cache_hits", 0) != 1:
+            return Failure("mismatch", "cache",
+                           "warm run missed the cache (counters %r)"
+                           % {k: v for k, v in warm.perf.items()
+                              if k.startswith("artifact_cache_")})
+        if write_blif(cold.network) != write_blif(warm.network):
+            return Failure("mismatch", "cache",
+                           "cached network differs from cold run")
+    return None
 
 
 def _cross_check(spec: Network, impl: Network, stage: str, size_cap: int,

@@ -12,7 +12,6 @@ shape so a corpus entry replays with the exact options that failed.
 from __future__ import annotations
 
 import random
-from dataclasses import asdict, fields
 from typing import Any, Dict, Optional, Tuple
 
 from repro.bds.flow import BDSOptions
@@ -64,21 +63,20 @@ def sample_options(rng: random.Random) -> Tuple[BDSOptions, Optional[str]]:
 
 
 def options_to_dict(opts: BDSOptions) -> Dict[str, Any]:
-    """JSON-able snapshot of a :class:`BDSOptions` (nested decomp inline)."""
-    return asdict(opts)
+    """JSON-able snapshot of a :class:`BDSOptions` (nested decomp inline).
+
+    Thin alias for :meth:`BDSOptions.to_dict`, kept so corpus metadata
+    written before the canonical serialization moved onto the dataclass
+    keeps loading through the same entry point.
+    """
+    return opts.to_dict()
 
 
 def options_from_dict(data: Dict[str, Any]) -> BDSOptions:
     """Rebuild options from :func:`options_to_dict` output.
 
     Unknown keys are ignored and missing keys take their defaults, so a
-    corpus recorded by an older or newer revision still replays.
+    corpus recorded by an older or newer revision still replays (see
+    :meth:`BDSOptions.from_dict`).
     """
-    decomp_data = data.get("decomp") or {}
-    decomp_fields = {f.name for f in fields(DecompOptions)}
-    decomp = DecompOptions(**{k: v for k, v in decomp_data.items()
-                              if k in decomp_fields})
-    opt_fields = {f.name for f in fields(BDSOptions)}
-    kwargs = {k: v for k, v in data.items()
-              if k in opt_fields and k != "decomp"}
-    return BDSOptions(decomp=decomp, **kwargs)
+    return BDSOptions.from_dict(data)

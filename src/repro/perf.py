@@ -8,7 +8,17 @@ aggregate per-manager snapshots with :func:`merge_snapshots` so a benchmark
 can report kernel health (cache hit rate, peak live nodes, GC pressure)
 alongside CPU and memory.
 
-See ``docs/PERFORMANCE.md`` for how to read the numbers.
+The service layer folds its own counters into the same snapshots: the
+content-addressed artifact cache (:mod:`repro.service.cache`) reports
+``artifact_cache_hits`` / ``artifact_cache_misses`` /
+``artifact_cache_stores`` / ``artifact_cache_evictions`` /
+``artifact_cache_corrupt``.  These are plain counts (summed on merge) and
+are distinct from the kernel's computed-table ``cache_hits`` /
+``cache_misses``: the former count whole reused optimization *results*,
+the latter memoized ITE subproblems.
+
+See ``docs/PERFORMANCE.md`` and ``docs/SERVICE.md`` for how to read the
+numbers.
 """
 
 from __future__ import annotations

@@ -1,0 +1,31 @@
+"""Batched optimization service (see ``docs/SERVICE.md``).
+
+Production-facing layer over the BDS flow:
+
+* :mod:`repro.service.cache` -- content-addressed on-disk artifact store
+  keyed by ``sha256(canonical BLIF)`` x ``BDSOptions.cache_key()``; an
+  already-verified optimization result is a proof object worth keeping.
+* :mod:`repro.service.scheduler` -- async job scheduler over worker
+  processes: bounded queue, per-job wall-clock timeouts, cancellation,
+  worker-crash recovery, deterministic result ordering.
+* :mod:`repro.service.api` -- :class:`OptimizationService` routing every
+  request through cache-lookup -> schedule -> cache-store, plus the
+  JSON-lines daemon loop behind ``repro serve`` and ``repro batch``.
+"""
+
+from repro.service.api import (OptimizationService, ServiceRequest,
+                               ServiceResponse)
+from repro.service.cache import Artifact, ArtifactCache
+from repro.service.scheduler import (JobResult, OptimizationScheduler,
+                                     SchedulerFull)
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "JobResult",
+    "OptimizationScheduler",
+    "OptimizationService",
+    "SchedulerFull",
+    "ServiceRequest",
+    "ServiceResponse",
+]

@@ -1,0 +1,223 @@
+"""The optimization service: cache-lookup -> schedule -> cache-store.
+
+:class:`OptimizationService` is the one front door every entry point
+(``repro batch``, ``repro serve``, future sharded/multi-backend layers)
+routes through.  A request carries a BLIF netlist plus a
+:class:`repro.bds.flow.BDSOptions` snapshot; the service
+
+1. keys the request into the content-addressed
+   :class:`repro.service.cache.ArtifactCache` and answers hits without
+   scheduling any work (a cached, already-verified artifact is a proof
+   object -- its verdict is returned as-is);
+2. fans misses out over the :class:`OptimizationScheduler` (bounded
+   queue, per-job timeouts, crash recovery);
+3. stores every successful result back into the cache.
+
+Responses come back in request order regardless of worker completion
+order, and a cache hit is byte-identical to the artifact originally
+stored (the BLIF text is returned verbatim, not re-serialized).
+
+``serve`` implements the ``repro serve`` JSON-lines daemon: one request
+object per input line, one response object per output line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, IO, List, Optional
+
+from repro.bds.flow import BDSOptions
+from repro.perf import merge_snapshots
+from repro.service.cache import Artifact, ArtifactCache
+from repro.service.scheduler import JobResult, OptimizationScheduler
+
+
+@dataclass
+class ServiceRequest:
+    """One unit of work: optimize ``blif`` under ``options``."""
+
+    blif: str
+    options: BDSOptions = field(default_factory=BDSOptions)
+    name: str = ""
+    timeout: Optional[float] = None
+
+
+@dataclass
+class ServiceResponse:
+    """One unit of result, aligned 1:1 with the request list."""
+
+    name: str
+    status: str                        # "ok" | "failed" | "timeout" | "cancelled"
+    cached: bool = False
+    blif: Optional[str] = None
+    perf: Dict[str, float] = field(default_factory=dict)
+    verify_mode: str = "off"
+    verify_unknown_outputs: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        obj: Dict[str, Any] = {
+            "name": self.name,
+            "status": self.status,
+            "cached": self.cached,
+            "perf": self.perf,
+            "verify_mode": self.verify_mode,
+            "verify_unknown_outputs": list(self.verify_unknown_outputs),
+            "elapsed": round(self.elapsed, 6),
+        }
+        if self.blif is not None:
+            obj["blif"] = self.blif
+        if self.error is not None:
+            obj["error"] = self.error
+        return obj
+
+
+class OptimizationService:
+    """Batched optimization with artifact reuse (see module doc)."""
+
+    def __init__(self, cache: Optional[ArtifactCache] = None,
+                 max_workers: int = 1, queue_cap: int = 64,
+                 default_timeout: Optional[float] = None,
+                 scheduler_factory: Callable[..., OptimizationScheduler]
+                 = OptimizationScheduler) -> None:
+        self.cache = cache
+        self.max_workers = max_workers
+        self.queue_cap = queue_cap
+        self.default_timeout = default_timeout
+        self._scheduler_factory = scheduler_factory
+
+    # -- core ----------------------------------------------------------
+
+    def process(self, requests: List[ServiceRequest]) -> List[ServiceResponse]:
+        """Answer every request, in order: cache -> schedule -> store."""
+        responses: List[Optional[ServiceResponse]] = [None] * len(requests)
+        misses: List[int] = []
+        keys: List[Optional[str]] = [None] * len(requests)
+        for i, req in enumerate(requests):
+            if self.cache is not None:
+                try:
+                    key = self.cache.key_for(req.blif, req.options)
+                except ValueError as exc:
+                    responses[i] = ServiceResponse(
+                        req.name, "failed", error="parse error: %s" % exc)
+                    continue
+                keys[i] = key
+                artifact = self.cache.lookup(key)
+                if artifact is not None:
+                    responses[i] = self._hit_response(req, artifact)
+                    continue
+            misses.append(i)
+        if misses:
+            with self._scheduler_factory(
+                    max_workers=self.max_workers, queue_cap=self.queue_cap,
+                    default_timeout=self.default_timeout) as sched:
+                payloads = [{"blif": requests[i].blif,
+                             "options": requests[i].options.to_dict()}
+                            for i in misses]
+                for i, payload in zip(misses, payloads):
+                    while sched.outstanding >= sched.queue_cap:
+                        sched.poll()
+                    sched.submit(payload, timeout=requests[i].timeout)
+                results = sched.wait()
+            for i, job in zip(misses, results):
+                responses[i] = self._miss_response(requests[i], keys[i], job)
+        return [r for r in responses if r is not None]
+
+    def optimize_one(self, request: ServiceRequest) -> ServiceResponse:
+        return self.process([request])[0]
+
+    # -- JSON-lines daemon ---------------------------------------------
+
+    def serve(self, stdin: IO[str], stdout: IO[str]) -> int:
+        """Serve requests line by line until EOF or a shutdown command.
+
+        Request lines: ``{"blif": ..., "options": {...}, "id": ...,
+        "timeout": ...}`` or ``{"cmd": "stats"}`` / ``{"cmd": "shutdown"}``.
+        Every line gets exactly one JSON response line; malformed lines
+        get ``{"status": "failed", ...}`` rather than killing the daemon.
+        """
+        served = 0
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                if not isinstance(obj, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                self._emit(stdout, {"status": "failed",
+                                    "error": "bad request: %s" % exc})
+                continue
+            cmd = obj.get("cmd")
+            if cmd == "shutdown":
+                self._emit(stdout, {"status": "ok", "served": served})
+                break
+            if cmd == "stats":
+                snap = (self.cache.perf_snapshot()
+                        if self.cache is not None else {})
+                self._emit(stdout, {"status": "ok", "served": served,
+                                    "cache": snap})
+                continue
+            try:
+                req = ServiceRequest(
+                    blif=obj["blif"],
+                    options=BDSOptions.from_dict(obj.get("options") or {}),
+                    name=str(obj.get("id", served)),
+                    timeout=obj.get("timeout", self.default_timeout))
+            except (KeyError, TypeError, ValueError) as exc:
+                self._emit(stdout, {"status": "failed",
+                                    "error": "bad request: %s" % exc})
+                continue
+            resp = self.optimize_one(req)
+            self._emit(stdout, dict(resp.to_json_obj(), id=req.name))
+            served += 1
+        return served
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _emit(stdout: IO[str], obj: Dict[str, Any]) -> None:
+        stdout.write(json.dumps(obj, sort_keys=True) + "\n")
+        stdout.flush()
+
+    def _hit_response(self, req: ServiceRequest,
+                      artifact: Artifact) -> ServiceResponse:
+        perf = merge_snapshots([artifact.perf,
+                                {"artifact_cache_hits": 1.0}])
+        return ServiceResponse(
+            req.name, "ok", cached=True, blif=artifact.network_blif,
+            perf=perf, verify_mode=artifact.verify_mode,
+            verify_unknown_outputs=list(artifact.verify_unknown_outputs))
+
+    def _miss_response(self, req: ServiceRequest, key: Optional[str],
+                       job: JobResult) -> ServiceResponse:
+        if not job.ok:
+            return ServiceResponse(req.name, job.status, error=job.error,
+                                   elapsed=job.elapsed)
+        value = job.value
+        artifact = Artifact(
+            network_blif=value["blif"],
+            perf=dict(value.get("perf") or {}),
+            decomp_stats=dict(value.get("decomp_stats") or {}),
+            timings=dict(value.get("timings") or {}),
+            supernodes=int(value.get("supernodes", 0)),
+            mapping_count=int(value.get("mapping_count", 0)),
+            verify_mode=str(value.get("verify_mode", req.options.verify)),
+            verify_unknown_outputs=list(
+                value.get("verify_unknown_outputs") or []))
+        if self.cache is not None and key is not None:
+            self.cache.store(key, artifact)
+        perf = merge_snapshots([artifact.perf,
+                                {"artifact_cache_misses": 1.0}])
+        return ServiceResponse(
+            req.name, "ok", cached=False, blif=artifact.network_blif,
+            perf=perf, verify_mode=artifact.verify_mode,
+            verify_unknown_outputs=list(artifact.verify_unknown_outputs),
+            elapsed=job.elapsed)

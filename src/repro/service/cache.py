@@ -1,0 +1,299 @@
+"""Content-addressed artifact cache for optimization results.
+
+An *artifact* is everything ``bds_optimize`` produced for one (input
+network, options) pair: the optimized network (as canonical BLIF -- the
+storage format round-trips through ``parse_blif``/``write_blif``), the
+aggregated kernel perf counters, the decomposition statistics, and the
+verify verdict.  Artifacts are keyed by
+
+    sha256(canonical BLIF of the input)  x  BDSOptions.cache_key()
+
+so a hit is exact: same function, same semantic options, same (possibly
+verified) result.  Design points:
+
+* **Atomic writes** -- payloads land in a temp file in the same directory
+  and are ``os.replace``d into place; readers never observe a torn write.
+* **Corruption detection** -- every object embeds a sha256 of its payload;
+  a truncated, bit-flipped, or unparsable object is treated as a *miss*
+  (and deleted), never an exception.
+* **Size-bounded LRU index** -- ``index.json`` tracks last-use ticks; once
+  ``max_entries`` is exceeded the least recently used objects are evicted.
+  A missing or corrupt index is rebuilt from the object files.
+* **Counters** -- hits / misses / stores / evictions / corruption events
+  are exposed as a ``perf_snapshot()`` dict using ``artifact_cache_*``
+  keys, mergeable by :func:`repro.perf.merge_snapshots` alongside the
+  kernel counters (the computed-table ``cache_hits``/``cache_misses``).
+
+See ``docs/SERVICE.md`` for the on-disk layout and failure modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.network.blif import parse_blif, write_blif
+from repro.network.network import Network
+
+#: Bump when the payload schema changes; old-version objects read as misses.
+FORMAT_VERSION = 1
+
+
+def canonical_blif(net_or_text: Any) -> str:
+    """Canonical BLIF text for keying: parse (when given text) + rewrite.
+
+    ``write_blif`` emits nodes in topological order with a normalized
+    cover syntax, so textual variations of the same netlist (comments,
+    line wrapping, node order) key identically.
+    """
+    if isinstance(net_or_text, Network):
+        return write_blif(net_or_text)
+    return write_blif(parse_blif(net_or_text))
+
+
+def content_key(net_or_text: Any, options: Any) -> str:
+    """``sha256(canonical BLIF)`` x ``options.cache_key()`` (hex digest)."""
+    blif_sha = hashlib.sha256(
+        canonical_blif(net_or_text).encode("utf-8")).hexdigest()
+    return hashlib.sha256(
+        ("%s:%s" % (blif_sha, options.cache_key())).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Artifact:
+    """One cached optimization result."""
+
+    network_blif: str
+    perf: Dict[str, float] = field(default_factory=dict)
+    decomp_stats: Dict[str, int] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    supernodes: int = 0
+    mapping_count: int = 0
+    verify_mode: str = "off"
+    verify_unknown_outputs: List[str] = field(default_factory=list)
+
+    def network(self) -> Network:
+        return parse_blif(self.network_blif)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "version": FORMAT_VERSION,
+            "network_blif": self.network_blif,
+            "perf": self.perf,
+            "decomp_stats": self.decomp_stats,
+            "timings": self.timings,
+            "supernodes": self.supernodes,
+            "mapping_count": self.mapping_count,
+            "verify_mode": self.verify_mode,
+            "verify_unknown_outputs": list(self.verify_unknown_outputs),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Artifact":
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError("unsupported artifact version %r"
+                             % payload.get("version"))
+        return cls(
+            network_blif=payload["network_blif"],
+            perf=dict(payload.get("perf") or {}),
+            decomp_stats=dict(payload.get("decomp_stats") or {}),
+            timings=dict(payload.get("timings") or {}),
+            supernodes=int(payload.get("supernodes", 0)),
+            mapping_count=int(payload.get("mapping_count", 0)),
+            verify_mode=str(payload.get("verify_mode", "off")),
+            verify_unknown_outputs=list(
+                payload.get("verify_unknown_outputs") or []),
+        )
+
+    @classmethod
+    def from_result(cls, result: Any, options: Any) -> "Artifact":
+        """Build from a :class:`repro.bds.flow.BDSResult` (duck-typed to
+        keep this module import-light)."""
+        return cls(
+            network_blif=write_blif(result.network),
+            perf=dict(result.perf),
+            decomp_stats=dict(result.decomp_stats.as_dict()),
+            timings=dict(result.timings),
+            supernodes=result.supernodes,
+            mapping_count=result.mapping_count,
+            verify_mode=options.verify,
+            verify_unknown_outputs=list(result.verify_unknown_outputs),
+        )
+
+
+def _payload_text(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ArtifactCache:
+    """Content-addressed on-disk store with an LRU-bounded index.
+
+    Layout under ``root``::
+
+        objects/<key[:2]>/<key>.json   {"sha256": ..., "payload": {...}}
+        index.json                     {"tick": N, "entries": {key: ...}}
+
+    All operations are non-raising on damaged state: corrupt objects and
+    a corrupt index degrade to misses / a rebuild, never an exception.
+    """
+
+    def __init__(self, root: str, max_entries: int = 4096) -> None:
+        self.root = os.path.abspath(root)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.corrupt = 0
+        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+        self._index = self._load_index()
+
+    # -- keying --------------------------------------------------------
+
+    def key_for(self, net_or_text: Any, options: Any) -> str:
+        return content_key(net_or_text, options)
+
+    # -- lookup / store ------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[Artifact]:
+        """Return the artifact under ``key`` or None (counting the event).
+
+        Any damage -- unreadable file, bad JSON, checksum mismatch,
+        unknown version -- deletes the object and reads as a miss.
+        """
+        path = self._object_path(key)
+        try:
+            with open(path) as fh:
+                wrapper = json.load(fh)
+            payload = wrapper["payload"]
+            if wrapper.get("sha256") != hashlib.sha256(
+                    _payload_text(payload).encode("utf-8")).hexdigest():
+                raise ValueError("checksum mismatch")
+            artifact = Artifact.from_payload(payload)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncation, bit flips, schema drift: clean miss.
+            self.corrupt += 1
+            self.misses += 1
+            self._remove_object(key)
+            return None
+        self.hits += 1
+        self._touch(key)
+        return artifact
+
+    def store(self, key: str, artifact: Artifact) -> str:
+        """Atomically write ``artifact`` under ``key``; returns the path."""
+        payload = artifact.to_payload()
+        text = _payload_text(payload)
+        wrapper = {"sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+                   "payload": payload}
+        path = self._object_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(wrapper, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        self._touch(key)
+        self._evict_over_budget()
+        return path
+
+    # -- counters ------------------------------------------------------
+
+    def perf_snapshot(self) -> Dict[str, float]:
+        """Cumulative counters in :func:`repro.perf.merge_snapshots` shape."""
+        return {
+            "artifact_cache_hits": float(self.hits),
+            "artifact_cache_misses": float(self.misses),
+            "artifact_cache_stores": float(self.stores),
+            "artifact_cache_evictions": float(self.evictions),
+            "artifact_cache_corrupt": float(self.corrupt),
+        }
+
+    def __len__(self) -> int:
+        return len(self._index["entries"])
+
+    # -- internals -----------------------------------------------------
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], key + ".json")
+
+    def _index_path(self) -> str:
+        return os.path.join(self.root, "index.json")
+
+    def _load_index(self) -> Dict[str, Any]:
+        try:
+            with open(self._index_path()) as fh:
+                index = json.load(fh)
+            entries = index["entries"]
+            if not isinstance(entries, dict):
+                raise ValueError("bad index")
+            return {"tick": int(index.get("tick", 0)), "entries": entries}
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError, KeyError, TypeError):
+            self.corrupt += 1
+        return self._rebuild_index()
+
+    def _rebuild_index(self) -> Dict[str, Any]:
+        """Recover the index by scanning ``objects/`` (order arbitrary)."""
+        entries: Dict[str, int] = {}
+        objects = os.path.join(self.root, "objects")
+        for dirpath, _dirs, files in os.walk(objects):
+            for name in files:
+                if name.endswith(".json") and not name.startswith(".tmp-"):
+                    entries[name[:-len(".json")]] = len(entries)
+        return {"tick": len(entries), "entries": entries}
+
+    def _write_index(self) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-idx-")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(self._index, fh)
+            os.replace(tmp, self._index_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _touch(self, key: str) -> None:
+        self._index["tick"] += 1
+        self._index["entries"][key] = self._index["tick"]
+        self._write_index()
+
+    def _remove_object(self, key: str) -> None:
+        try:
+            os.unlink(self._object_path(key))
+        except OSError:
+            pass
+        if key in self._index["entries"]:
+            del self._index["entries"][key]
+            self._write_index()
+
+    def _evict_over_budget(self) -> None:
+        entries = self._index["entries"]
+        while len(entries) > self.max_entries:
+            oldest = min(entries, key=lambda k: entries[k])
+            del entries[oldest]
+            try:
+                os.unlink(self._object_path(oldest))
+            except OSError:
+                pass
+            self.evictions += 1
+        self._write_index()

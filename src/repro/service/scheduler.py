@@ -1,0 +1,321 @@
+"""Async job scheduler for batched optimization.
+
+Runs optimization jobs in worker *processes* (one process per job, at
+most ``max_workers`` alive at once) so that the service survives
+everything a job can do to a worker:
+
+* **Per-job wall-clock timeouts** reuse the PR-4 budget machinery: the
+  worker arms ``SIGALRM`` to raise :class:`repro.bdd.manager.BddBudgetExceeded`
+  -- the same interrupt the size-capped verifier uses -- so a timed-out
+  job unwinds gracefully and reports ``status="timeout"``.  A parent-side
+  deadline (+ a grace period) is the backstop: a worker that cannot be
+  interrupted (hung in C, ignoring signals) is terminated.
+* **Worker-crash recovery**: a worker that dies without reporting (killed,
+  segfault, ``os._exit``) marks its job ``failed`` and frees the slot --
+  the next pending job starts immediately; nothing hangs, nothing leaks.
+* **Cancellation**: pending jobs are dropped from the queue; running jobs
+  are terminated.
+* **Bounded queue**: ``submit`` raises :class:`SchedulerFull` beyond
+  ``queue_cap`` outstanding jobs (:meth:`OptimizationScheduler.run`
+  applies backpressure instead).
+* **Deterministic ordering**: results are reported in submission order,
+  whatever order workers finish in.
+
+The scheduler is generic over the worker function (any picklable
+``payload -> dict`` callable), which is also the fault-injection seam the
+scheduler tests use; the default :func:`optimize_job_worker` runs the BDS
+flow on a BLIF payload.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+import multiprocessing as mp
+
+from repro.bdd.manager import BddBudgetExceeded
+
+#: Seconds past a job's deadline before the parent terminates the worker
+#: (the window in which the in-worker SIGALRM path may still report a
+#: graceful "timeout").
+DEFAULT_GRACE = 2.0
+
+_POLL_INTERVAL = 0.01
+
+
+class SchedulerFull(RuntimeError):
+    """``submit`` was called with ``queue_cap`` jobs already outstanding."""
+
+
+@dataclass
+class JobResult:
+    """Outcome of one scheduled job."""
+
+    job_id: int
+    status: str                       # "ok" | "failed" | "timeout" | "cancelled"
+    value: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def optimize_job_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Default worker: run the BDS flow on ``payload["blif"]``.
+
+    ``payload["options"]`` is a :meth:`BDSOptions.to_dict` snapshot (so
+    payloads stay JSON-able end to end, matching the ``repro serve``
+    wire format).  A verification mismatch is a job *failure*, not a
+    crash.
+    """
+    from repro.bds.flow import BDSOptions, bds_optimize
+    from repro.network.blif import parse_blif, write_blif
+    from repro.verify import VerifyError
+
+    options = BDSOptions.from_dict(payload.get("options") or {})
+    net = parse_blif(payload["blif"])
+    try:
+        result = bds_optimize(net, options)
+    except VerifyError as exc:
+        return {"status": "failed",
+                "error": "verification failed (%s) at output %s"
+                         % (exc.mode, exc.failing_output)}
+    return {
+        "status": "ok",
+        "blif": write_blif(result.network),
+        "perf": result.perf,
+        "decomp_stats": result.decomp_stats.as_dict(),
+        "timings": result.timings,
+        "supernodes": result.supernodes,
+        "mapping_count": result.mapping_count,
+        "verify_mode": options.verify,
+        "verify_unknown_outputs": list(result.verify_unknown_outputs),
+    }
+
+
+def _child_main(conn: Any, worker: Callable[[Dict[str, Any]], Dict[str, Any]],
+                payload: Dict[str, Any], timeout: Optional[float]) -> None:
+    """Worker-process entry: run the job, report exactly one dict."""
+    if timeout is not None and hasattr(signal, "SIGALRM"):
+        def _on_alarm(signum: int, frame: Any) -> None:
+            raise BddBudgetExceeded(
+                "job wall-clock budget (%.3fs) exceeded" % timeout)
+
+        signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        out = worker(payload)
+        if timeout is not None and hasattr(signal, "SIGALRM"):
+            signal.setitimer(signal.ITIMER_REAL, 0)
+        if "status" not in out:
+            out = dict(out, status="ok")
+        conn.send(out)
+    except BddBudgetExceeded as exc:
+        conn.send({"status": "timeout", "error": str(exc)})
+    except BaseException as exc:  # report, never hang the parent
+        try:
+            conn.send({"status": "failed",
+                       "error": "%s: %s" % (type(exc).__name__, exc)})
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Pending:
+    job_id: int
+    payload: Dict[str, Any]
+    timeout: Optional[float]
+
+
+@dataclass
+class _Running:
+    job_id: int
+    proc: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+class OptimizationScheduler:
+    """Bounded async scheduler over worker processes (see module doc)."""
+
+    def __init__(self, max_workers: int = 1, queue_cap: int = 64,
+                 default_timeout: Optional[float] = None,
+                 worker: Callable[[Dict[str, Any]], Dict[str, Any]] = optimize_job_worker,
+                 grace: float = DEFAULT_GRACE) -> None:
+        self.max_workers = max(1, max_workers)
+        self.queue_cap = max(1, queue_cap)
+        self.default_timeout = default_timeout
+        self.worker = worker
+        self.grace = grace
+        self._ctx = mp.get_context()
+        self._next_id = 0
+        self._pending: Deque[_Pending] = deque()
+        self._running: Dict[int, _Running] = {}
+        self._done: Dict[int, JobResult] = {}
+
+    # -- public API ----------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any],
+               timeout: Optional[float] = None) -> int:
+        """Queue one job; returns its id.  Raises :class:`SchedulerFull`
+        when ``queue_cap`` jobs are already outstanding."""
+        if self.outstanding >= self.queue_cap:
+            raise SchedulerFull("queue cap %d reached" % self.queue_cap)
+        job_id = self._next_id
+        self._next_id += 1
+        self._pending.append(_Pending(
+            job_id, payload,
+            self.default_timeout if timeout is None else timeout))
+        self._pump()
+        return job_id
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a job: drop it if pending, terminate it if running.
+
+        Returns False when the job already completed (or never existed).
+        """
+        for i, job in enumerate(self._pending):
+            if job.job_id == job_id:
+                del self._pending[i]
+                self._done[job_id] = JobResult(job_id, "cancelled",
+                                               error="cancelled while queued")
+                return True
+        if job_id in self._running:
+            self._kill(job_id, "cancelled", "cancelled while running")
+            self._pump()
+            return True
+        return False
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending) + len(self._running)
+
+    def poll(self) -> None:
+        """Advance the scheduler without blocking."""
+        self._pump()
+
+    def wait(self, timeout: Optional[float] = None) -> List[JobResult]:
+        """Block until every submitted job completed (or ``timeout``
+        seconds elapsed); returns all results in submission order."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.outstanding:
+            self._pump()
+            if not self.outstanding:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            time.sleep(_POLL_INTERVAL)
+        return self.results()
+
+    def results(self) -> List[JobResult]:
+        """Completed results so far, in submission order."""
+        return [self._done[k] for k in sorted(self._done)]
+
+    def run(self, payloads: List[Dict[str, Any]],
+            timeout: Optional[float] = None) -> List[JobResult]:
+        """Submit ``payloads`` with backpressure and drain: the one-call
+        batch entry point, deterministic result order guaranteed."""
+        for payload in payloads:
+            while self.outstanding >= self.queue_cap:
+                self._pump()
+                time.sleep(_POLL_INTERVAL)
+            self.submit(payload, timeout=timeout)
+        return self.wait()
+
+    def shutdown(self) -> None:
+        """Cancel everything outstanding and reap every worker process."""
+        while self._pending:
+            job = self._pending.popleft()
+            self._done[job.job_id] = JobResult(job.job_id, "cancelled",
+                                               error="scheduler shutdown")
+        for job_id in list(self._running):
+            self._kill(job_id, "cancelled", "scheduler shutdown")
+
+    def __enter__(self) -> "OptimizationScheduler":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    # -- internals -----------------------------------------------------
+
+    def _start(self, job: _Pending) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_child_main,
+            args=(child_conn, self.worker, job.payload, job.timeout),
+            daemon=True)
+        proc.start()
+        child_conn.close()
+        now = time.monotonic()
+        deadline = None if job.timeout is None else now + job.timeout
+        self._running[job.job_id] = _Running(job.job_id, proc, parent_conn,
+                                             now, deadline)
+
+    def _pump(self) -> None:
+        now = time.monotonic()
+        for job_id in list(self._running):
+            run = self._running[job_id]
+            if run.conn.poll():
+                try:
+                    msg = run.conn.recv()
+                except (EOFError, OSError):
+                    msg = None
+                self._finish(job_id, msg)
+            elif not run.proc.is_alive():
+                # Died without reporting -- but the report may have raced
+                # the exit, so give the pipe one more look.
+                msg = None
+                if run.conn.poll():
+                    try:
+                        msg = run.conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                self._finish(job_id, msg)
+            elif run.deadline is not None and now > run.deadline + self.grace:
+                # The in-worker SIGALRM path had its grace period; enforce.
+                self._kill(job_id, "timeout",
+                           "terminated %.1fs past deadline" % self.grace)
+        while self._pending and len(self._running) < self.max_workers:
+            self._start(self._pending.popleft())
+
+    def _finish(self, job_id: int, msg: Optional[Dict[str, Any]]) -> None:
+        run = self._running.pop(job_id)
+        elapsed = time.monotonic() - run.started
+        run.proc.join(timeout=self.grace)
+        if run.proc.is_alive():
+            run.proc.terminate()
+            run.proc.join()
+        run.conn.close()
+        if msg is None:
+            exitcode = run.proc.exitcode
+            self._done[job_id] = JobResult(
+                job_id, "failed", elapsed=elapsed,
+                error="worker crashed (exit code %s)" % exitcode)
+        else:
+            status = msg.get("status", "failed")
+            self._done[job_id] = JobResult(job_id, status, value=msg,
+                                           error=msg.get("error"),
+                                           elapsed=elapsed)
+
+    def _kill(self, job_id: int, status: str,
+              error: Optional[str] = None) -> None:
+        run = self._running.pop(job_id)
+        elapsed = time.monotonic() - run.started
+        run.proc.terminate()
+        run.proc.join()
+        run.conn.close()
+        self._done[job_id] = JobResult(job_id, status, error=error,
+                                       elapsed=elapsed)

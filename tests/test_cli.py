@@ -150,6 +150,110 @@ class TestVerifyContract:
         assert main(["optimize", blif_file, "-o", out]) == 0
 
 
+class TestOptimizeJson:
+    def test_json_object_on_stdout(self, blif_file, tmp_path, capsys):
+        out = str(tmp_path / "out.blif")
+        rc = main(["optimize", blif_file, "-o", out, "--json",
+                   "--verify", "cec"])
+        assert rc == 0
+        import json
+
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["exit_code"] == 0
+        assert obj["verify_mode"] == "cec"
+        assert obj["cached"] is False
+        assert obj["input"]["nodes"] >= obj["output"]["nodes"] - 5
+        assert obj["perf"]["ite_calls"] > 0
+        parse_blif(open(out).read())     # BLIF went to -o, not stdout
+
+    def test_json_without_output_file_keeps_stdout_clean(self, blif_file,
+                                                         capsys):
+        import json
+
+        assert main(["optimize", blif_file, "--json"]) == 0
+        # stdout must be exactly one JSON object -- no BLIF mixed in.
+        json.loads(capsys.readouterr().out)
+
+    def test_json_reports_cache_hit_on_second_run(self, blif_file, tmp_path,
+                                                  capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        out = str(tmp_path / "out.blif")
+        main(["optimize", blif_file, "-o", out, "--json",
+              "--cache-dir", cache_dir])
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["perf"]["artifact_cache_misses"] == 1
+        main(["optimize", blif_file, "-o", out, "--json",
+              "--cache-dir", cache_dir])
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cached"] is True
+        assert warm["perf"]["artifact_cache_hits"] == 1
+
+
+class TestBatchCommand:
+    def _make_inputs(self, tmp_path, names=("add4", "cmp8", "parity8")):
+        indir = tmp_path / "in"
+        indir.mkdir()
+        for name in names:
+            main(["generate", name, "-o", str(indir / (name + ".blif"))])
+        return str(indir)
+
+    def test_two_pass_batch_second_all_cached(self, tmp_path, capsys):
+        import json
+
+        indir = self._make_inputs(tmp_path)
+        cache_dir = str(tmp_path / "cache")
+        args = ["batch", indir, "--cache-dir", cache_dir, "--json"]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache_hits"] == 0 and cold["cache_misses"] == 3
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cache_hits"] == 3 and warm["cache_misses"] == 0
+        assert all(r["cached"] for r in warm["results"])
+
+    def test_out_dir_writes_optimized_blifs(self, tmp_path, capsys):
+        import os
+
+        indir = self._make_inputs(tmp_path, names=("add4",))
+        outdir = str(tmp_path / "out")
+        assert main(["batch", indir, "--out-dir", outdir]) == 0
+        assert os.listdir(outdir) == ["add4.opt.blif"]
+        parse_blif(open(os.path.join(outdir, "add4.opt.blif")).read())
+
+    def test_bad_input_exits_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.blif"
+        bad.write_text("garbage\n")
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", str(bad), "--cache-dir", cache_dir]) == 1
+
+    def test_no_inputs_exits_1(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["batch", str(empty)]) == 1
+
+
+class TestServeCommand:
+    def test_serve_round_trip(self, blif_file, tmp_path, capsys,
+                              monkeypatch):
+        import io
+        import json
+        import sys as _sys
+
+        request = json.dumps({"blif": open(blif_file).read(), "id": "r1"})
+        shutdown = json.dumps({"cmd": "shutdown"})
+        monkeypatch.setattr(_sys, "stdin",
+                            io.StringIO(request + "\n" + shutdown + "\n"))
+        rc = main(["serve", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        assert lines[0]["id"] == "r1" and lines[0]["status"] == "ok"
+        parse_blif(lines[0]["blif"])
+        assert lines[1] == {"status": "ok", "served": 1}
+
+
 class TestFuzzCommand:
     def test_smoke_run_exits_0(self, tmp_path, capsys):
         corpus = str(tmp_path / "corpus")

@@ -1,0 +1,132 @@
+"""Tests for the batched optimization service (repro.service.api):
+cache routing, request/response ordering, the JSON-lines daemon, and
+the warm-cache speedup acceptance criterion."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.bds.flow import BDSOptions
+from repro.circuits import build_circuit
+from repro.circuits.registry import TABLE1_CIRCUITS
+from repro.network.blif import parse_blif, write_blif
+from repro.service import (ArtifactCache, OptimizationService, ServiceRequest)
+from repro.verify import verify_networks
+
+SMALL = ["add4", "add8", "cmp8", "parity8", "rl_mux"]
+
+
+def _requests(names, **opt_kwargs):
+    opts = BDSOptions(**opt_kwargs)
+    return [ServiceRequest(blif=write_blif(build_circuit(n)), options=opts,
+                           name=n) for n in names]
+
+
+class TestBatchRouting:
+    def test_two_pass_second_all_cached_byte_identical(self, tmp_path):
+        service = OptimizationService(cache=ArtifactCache(str(tmp_path)),
+                                      max_workers=2)
+        cold = service.process(_requests(SMALL, verify="cec"))
+        assert [r.name for r in cold] == SMALL
+        assert all(r.ok and not r.cached for r in cold)
+        warm = service.process(_requests(SMALL, verify="cec"))
+        assert all(r.ok and r.cached for r in warm)
+        for a, b in zip(cold, warm):
+            assert b.blif == a.blif          # byte-identical, not re-emitted
+            assert b.perf["artifact_cache_hits"] == 1
+            assert b.verify_mode == a.verify_mode
+
+    def test_responses_follow_request_order_with_mixed_hits(self, tmp_path):
+        service = OptimizationService(cache=ArtifactCache(str(tmp_path)),
+                                      max_workers=2)
+        service.process(_requests(["add4", "cmp8"]))
+        mixed = service.process(
+            _requests(["parity8", "add4", "rl_mux", "cmp8"]))
+        assert [r.name for r in mixed] == ["parity8", "add4", "rl_mux",
+                                           "cmp8"]
+        assert [r.cached for r in mixed] == [False, True, False, True]
+
+    def test_parse_error_fails_only_that_request(self, tmp_path):
+        service = OptimizationService(cache=ArtifactCache(str(tmp_path)))
+        reqs = _requests(["add4"])
+        reqs.insert(0, ServiceRequest(blif="not blif at all", name="bad"))
+        responses = service.process(reqs)
+        assert responses[0].status == "failed"
+        assert "parse error" in responses[0].error
+        assert responses[1].ok
+
+    def test_results_are_equivalent_to_inputs(self, tmp_path):
+        service = OptimizationService(cache=ArtifactCache(str(tmp_path)))
+        for resp in service.process(_requests(["add8", "parity8"])):
+            original = build_circuit(resp.name)
+            assert verify_networks(original, parse_blif(resp.blif),
+                                   mode="cec").equivalent
+
+    def test_cacheless_service_still_optimizes(self):
+        service = OptimizationService(cache=None)
+        resp = service.optimize_one(_requests(["add4"])[0])
+        assert resp.ok and not resp.cached
+        assert parse_blif(resp.blif).stats()["outputs"] == 5
+
+
+class TestServeLoop:
+    def _serve(self, lines, cache=None):
+        service = OptimizationService(cache=cache)
+        out = io.StringIO()
+        served = service.serve(io.StringIO("\n".join(lines) + "\n"), out)
+        return served, [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_request_stats_shutdown(self, tmp_path):
+        blif = write_blif(build_circuit("add4"))
+        lines = [json.dumps({"blif": blif, "id": "job-a"}),
+                 json.dumps({"cmd": "stats"}),
+                 json.dumps({"cmd": "shutdown"}),
+                 json.dumps({"blif": blif, "id": "never-reached"})]
+        served, out = self._serve(lines, cache=ArtifactCache(str(tmp_path)))
+        assert served == 1
+        assert out[0]["id"] == "job-a" and out[0]["status"] == "ok"
+        assert out[1]["cache"]["artifact_cache_misses"] == 1
+        assert out[2] == {"status": "ok", "served": 1}
+        assert len(out) == 3                 # nothing after shutdown
+
+    def test_malformed_lines_do_not_kill_the_daemon(self):
+        blif = write_blif(build_circuit("add4"))
+        lines = ["{invalid json", json.dumps(["a", "list"]),
+                 json.dumps({"no_blif": True}),
+                 json.dumps({"blif": blif, "id": "ok-after-junk"})]
+        served, out = self._serve(lines)
+        assert served == 1
+        assert [o["status"] for o in out] == ["failed", "failed", "failed",
+                                              "ok"]
+        assert out[3]["id"] == "ok-after-junk"
+
+    def test_serve_hits_cache_across_lines(self, tmp_path):
+        blif = write_blif(build_circuit("cmp8"))
+        req = json.dumps({"blif": blif})
+        _served, out = self._serve([req, req],
+                                   cache=ArtifactCache(str(tmp_path)))
+        assert [o["cached"] for o in out] == [False, True]
+        assert out[0]["blif"] == out[1]["blif"]
+
+
+@pytest.mark.perf
+class TestWarmCacheSpeedup:
+    """Acceptance: warm-cache batch over the Table I suite is >=10x
+    faster than the cold pass, with byte-identical outputs."""
+
+    def test_table1_warm_pass_10x(self, tmp_path):
+        service = OptimizationService(cache=ArtifactCache(str(tmp_path)),
+                                      max_workers=2)
+        requests = _requests(list(TABLE1_CIRCUITS))
+        t0 = time.perf_counter()
+        cold = service.process(requests)
+        cold_s = time.perf_counter() - t0
+        assert all(r.ok and not r.cached for r in cold)
+        t0 = time.perf_counter()
+        warm = service.process(_requests(list(TABLE1_CIRCUITS)))
+        warm_s = time.perf_counter() - t0
+        assert all(r.ok and r.cached for r in warm)
+        assert [w.blif for w in warm] == [c.blif for c in cold]
+        assert warm_s * 10 <= cold_s, (cold_s, warm_s)

@@ -1,0 +1,225 @@
+"""Tests for the async job scheduler: ordering, per-job timeouts,
+cancellation, worker-crash recovery, and leak-freedom.
+
+The workers below are module-level so they pickle under any
+multiprocessing start method; they are the fault-injection seam the
+scheduler exposes (any ``payload -> dict`` callable).
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.bds.flow import BDSOptions
+from repro.circuits import build_circuit
+from repro.network.blif import parse_blif, write_blif
+from repro.service.scheduler import (OptimizationScheduler, SchedulerFull,
+                                     optimize_job_worker)
+from repro.verify import verify_networks
+
+
+def _quick_worker(payload):
+    return {"status": "ok", "n": payload["n"]}
+
+
+def _sleep_worker(payload):
+    time.sleep(payload.get("sleep", 30))
+    return {"status": "ok"}
+
+
+def _crash_worker(payload):
+    os._exit(13)  # simulates a segfaulting / OOM-killed worker
+
+
+def _stubborn_worker(payload):
+    # Defeats the graceful SIGALRM path: only the parent-side terminate
+    # backstop can end this job.
+    signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    time.sleep(30)
+    return {"status": "ok"}
+
+
+def _flaky_worker(payload):
+    kind = payload["kind"]
+    if kind == "crash":
+        os._exit(7)
+    if kind == "sleep":
+        time.sleep(30)
+    return {"status": "ok", "n": payload["n"]}
+
+
+def _assert_no_leaked_children():
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert not multiprocessing.active_children()
+
+
+class TestOrdering:
+    def test_results_in_submission_order(self):
+        with OptimizationScheduler(max_workers=4,
+                                   worker=_quick_worker) as sched:
+            for i in range(10):
+                sched.submit({"n": i})
+            results = sched.wait(timeout=30)
+        assert [r.value["n"] for r in results] == list(range(10))
+        assert all(r.ok for r in results)
+        _assert_no_leaked_children()
+
+    def test_run_applies_backpressure_past_queue_cap(self):
+        with OptimizationScheduler(max_workers=2, queue_cap=3,
+                                   worker=_quick_worker) as sched:
+            results = sched.run([{"n": i} for i in range(12)])
+        assert [r.value["n"] for r in results] == list(range(12))
+
+    def test_submit_past_cap_raises(self):
+        with OptimizationScheduler(max_workers=1, queue_cap=2,
+                                   worker=_sleep_worker) as sched:
+            sched.submit({"sleep": 30})
+            sched.submit({"sleep": 30})
+            with pytest.raises(SchedulerFull):
+                sched.submit({"sleep": 30})
+        _assert_no_leaked_children()
+
+
+class TestTimeout:
+    def test_graceful_in_worker_timeout(self):
+        """The SIGALRM/BddBudgetExceeded path reports within the budget."""
+        with OptimizationScheduler(max_workers=1, worker=_sleep_worker,
+                                   grace=5.0) as sched:
+            sched.submit({"sleep": 30}, timeout=0.3)
+            t0 = time.monotonic()
+            results = sched.wait(timeout=30)
+            took = time.monotonic() - t0
+        assert results[0].status == "timeout"
+        assert "budget" in (results[0].error or "")
+        assert took < 4.0          # nowhere near the 30s sleep or the grace
+        _assert_no_leaked_children()
+
+    def test_backstop_terminates_uninterruptible_worker(self):
+        with OptimizationScheduler(max_workers=1, worker=_stubborn_worker,
+                                   grace=0.5) as sched:
+            sched.submit({}, timeout=0.3)
+            results = sched.wait(timeout=30)
+        assert results[0].status == "timeout"
+        assert "terminated" in (results[0].error or "")
+        _assert_no_leaked_children()
+
+    def test_timed_out_job_does_not_block_followers(self):
+        with OptimizationScheduler(max_workers=1, worker=_sleep_worker,
+                                   grace=0.5) as sched:
+            sched.submit({"sleep": 30}, timeout=0.2)
+            sched.submit({"sleep": 0.01})
+            results = sched.wait(timeout=30)
+        assert results[0].status == "timeout"
+        assert results[1].status == "ok"
+
+
+class TestCrashRecovery:
+    def test_crash_marks_failed_and_slot_refills(self):
+        with OptimizationScheduler(max_workers=1,
+                                   worker=_flaky_worker) as sched:
+            sched.submit({"kind": "crash", "n": 0})
+            sched.submit({"kind": "ok", "n": 1})
+            results = sched.wait(timeout=30)
+        assert results[0].status == "failed"
+        assert "crashed" in results[0].error
+        assert "13" not in results[0].error  # exit code 7 in this worker
+        assert results[1].ok and results[1].value["n"] == 1
+        _assert_no_leaked_children()
+
+    def test_exit_code_is_reported(self):
+        with OptimizationScheduler(max_workers=1,
+                                   worker=_crash_worker) as sched:
+            sched.submit({})
+            results = sched.wait(timeout=30)
+        assert results[0].status == "failed"
+        assert "13" in results[0].error
+
+    def test_worker_exception_is_a_failure_not_a_crash(self):
+        def boom(payload):
+            raise RuntimeError("kaput")
+
+        # Closures don't pickle under spawn, but the default Linux start
+        # method forks; guard so the test degrades gracefully elsewhere.
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork start method for closure workers")
+        with OptimizationScheduler(max_workers=1, worker=boom) as sched:
+            sched.submit({})
+            results = sched.wait(timeout=30)
+        assert results[0].status == "failed"
+        assert "kaput" in results[0].error
+
+
+class TestCancellation:
+    def test_cancel_pending_and_running(self):
+        with OptimizationScheduler(max_workers=1,
+                                   worker=_sleep_worker) as sched:
+            running = sched.submit({"sleep": 30})
+            queued = sched.submit({"sleep": 30})
+            assert sched.cancel(queued)
+            assert sched.cancel(running)
+            results = sched.wait(timeout=10)
+        assert [r.status for r in results] == ["cancelled", "cancelled"]
+        _assert_no_leaked_children()
+
+    def test_cancel_completed_returns_false(self):
+        with OptimizationScheduler(max_workers=1,
+                                   worker=_quick_worker) as sched:
+            jid = sched.submit({"n": 0})
+            sched.wait(timeout=30)
+            assert not sched.cancel(jid)
+
+    def test_shutdown_reaps_everything(self):
+        sched = OptimizationScheduler(max_workers=2, worker=_sleep_worker)
+        for _ in range(5):
+            sched.submit({"sleep": 30})
+        sched.shutdown()
+        statuses = [r.status for r in sched.results()]
+        assert len(statuses) == 5
+        assert set(statuses) == {"cancelled"}
+        _assert_no_leaked_children()
+
+
+class TestOptimizeWorker:
+    def test_end_to_end_optimization_job(self):
+        net = build_circuit("add4")
+        payload = {"blif": write_blif(net),
+                   "options": BDSOptions(verify="cec").to_dict()}
+        with OptimizationScheduler(max_workers=1,
+                                   worker=optimize_job_worker) as sched:
+            sched.submit(payload)
+            results = sched.wait(timeout=60)
+        assert results[0].ok
+        optimized = parse_blif(results[0].value["blif"])
+        assert verify_networks(net, optimized, mode="cec").equivalent
+        assert results[0].value["perf"]["ite_calls"] > 0
+
+    def test_bad_blif_is_a_failure(self):
+        with OptimizationScheduler(max_workers=1,
+                                   worker=optimize_job_worker) as sched:
+            sched.submit({"blif": "this is not blif"})
+            results = sched.wait(timeout=30)
+        assert results[0].status == "failed"
+
+
+@pytest.mark.perf
+class TestFaultInjectionStress:
+    """Nightly: a mixed wave of crashing / hanging / healthy jobs must
+    drain completely with deterministic per-job verdicts and no leaks."""
+
+    def test_mixed_fault_wave_drains(self):
+        kinds = (["ok", "crash", "ok", "sleep", "ok"] * 6)[:30]
+        payloads = [{"kind": k, "n": i} for i, k in enumerate(kinds)]
+        with OptimizationScheduler(max_workers=4, worker=_flaky_worker,
+                                   grace=0.5) as sched:
+            results = sched.run(payloads, timeout=1.0)
+        assert len(results) == len(payloads)
+        for payload, result in zip(payloads, results):
+            expected = {"ok": "ok", "crash": "failed",
+                        "sleep": "timeout"}[payload["kind"]]
+            assert result.status == expected, (payload, result)
+        _assert_no_leaked_children()
