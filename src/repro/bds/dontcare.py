@@ -41,7 +41,7 @@ def minimize_with_sdc(part: PartitionedNetwork, global_cap: int = 3000,
         ref = part.refs[name]
         subst: Dict[int, int] = {}
         ok = True
-        for v in support(mgr, ref):
+        for v in sorted(support(mgr, ref)):
             sig = mgr.var_name(v)
             if sig in part.inputs:
                 continue
@@ -64,7 +64,7 @@ def minimize_with_sdc(part: PartitionedNetwork, global_cap: int = 3000,
     for name in sorted(part.refs):
         ref = part.refs[name]
         node_support = support(mgr, ref)
-        fanin_sigs = [mgr.var_name(v) for v in node_support
+        fanin_sigs = [mgr.var_name(v) for v in sorted(node_support)
                       if mgr.var_name(v) not in part.inputs]
         if not fanin_sigs:
             continue  # node reads only PIs: every pattern reachable
@@ -92,7 +92,7 @@ def minimize_with_sdc(part: PartitionedNetwork, global_cap: int = 3000,
         # (relational product) to avoid the biggest intermediate.
         from repro.bdd.ops import and_exists
 
-        quantify = [v for v in all_pi_vars if v not in node_support]
+        quantify = [v for v in sorted(all_pi_vars) if v not in node_support]
         care = and_exists(mgr, care, terms[-1], quantify)
         if care in (ONE, ZERO) or node_count(mgr, care) > care_cap:
             continue

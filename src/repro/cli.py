@@ -8,6 +8,8 @@ Mirrors how BDS itself was used as a tool::
     python -m repro.cli generate bshift32 -o bshift32.blif
     python -m repro.cli verify a.blif b.blif [--mode sim|cec|full]
     python -m repro.cli check input.blif [--level cheap|full]
+    python -m repro.cli lint [paths...] [--format text|json]
+        [--baseline FILE] [--write-baseline] [--select CODES]
     python -m repro.cli fuzz [--minutes N] [--seed S] [--jobs J]
         [--corpus DIR]
     python -m repro.cli batch <dir-or-files...> [--cache-dir DIR]
@@ -279,6 +281,49 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Static analysis over Python sources (exit 0/1/2, docs/LINTING.md)."""
+    from repro.lint import (BaselineError, LintConfig, empty_baseline,
+                            lint_paths, load_baseline, write_baseline)
+    from repro.lint.reporters import (render_json, render_rule_catalog,
+                                      render_text)
+
+    config = LintConfig()
+    if args.select:
+        config.select = frozenset(
+            code.strip().upper() for code in args.select.split(","))
+    if args.list_rules:
+        render_rule_catalog(sys.stdout, config)
+        return 0
+    baseline = empty_baseline()
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline \
+            and os.path.exists("lint-baseline.json"):
+        baseline_path = "lint-baseline.json"
+    if baseline_path is not None and not args.no_baseline \
+            and not args.write_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print("lint: %s" % exc, file=sys.stderr)
+            return 2
+    report = lint_paths(args.paths, config, baseline)
+    if args.write_baseline:
+        out = baseline_path or "lint-baseline.json"
+        write_baseline(out, report.findings)
+        print("lint: wrote %d entr%s to %s (edit the justifications "
+              "before committing)"
+              % (len(report.findings),
+                 "y" if len(report.findings) == 1 else "ies", out),
+              file=sys.stderr)
+        return 0
+    if args.format == "json":
+        render_json(report, sys.stdout, config)
+    else:
+        render_text(report, sys.stdout, config)
+    return report.exit_code()
+
+
 def _cmd_check(args) -> int:
     """Lint a BLIF netlist; exit 1 on violations, 2 on parse errors."""
     with open(args.input) as fh:
@@ -381,6 +426,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("input")
     p_chk.add_argument("--level", choices=["cheap", "full"], default="full")
     p_chk.set_defaults(func=_cmd_check)
+
+    p_lint = sub.add_parser("lint", help="static analysis of Python "
+                                         "sources (RPL rules)")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files and/or directories (default: src)")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="baseline of grandfathered findings "
+                             "(default: lint-baseline.json when present)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings too")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="write current findings as a fresh baseline "
+                             "(justifications must then be filled in)")
+    p_lint.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(e.g. RPL001,RPL002)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_bat = sub.add_parser("batch", help="optimize many BLIFs through the "
                                          "cache-backed service")

@@ -48,7 +48,7 @@ def generalized_x_dominators(mgr: BDD, root: int) -> List[int]:
         if idx == 0 or idx in seen:
             continue
         seen.add(idx)
-        lo, hi = mgr._lo[idx], mgr._hi[idx]
+        _, lo, hi = mgr.node(idx << 1)
         (complemented if lo & 1 else regular).add(lo >> 1)
         regular.add(hi >> 1)  # then-edges are never complemented
         stack.append(lo >> 1)

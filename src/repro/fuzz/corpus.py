@@ -70,8 +70,12 @@ def save_entry(corpus_dir: str, blif_text: str,
     os.makedirs(corpus_dir, exist_ok=True)
     path = os.path.join(corpus_dir, entry_filename(blif_text, meta))
     if not os.path.exists(path):
-        with open(path, "w") as fh:
+        # Atomic publish: a reader (or a concurrent fuzzer sharing the
+        # corpus) must never observe a half-written entry.
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "w") as fh:
             fh.write(entry_text(blif_text, meta))
+        os.replace(tmp, path)
     return path
 
 

@@ -21,14 +21,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.bdd.manager import BddBudgetExceeded
 from repro.bds.flow import BDSOptions, bds_optimize
+from repro.check import CheckError
 from repro.fuzz.corpus import CorpusEntry, save_entry
 from repro.fuzz.generator import sample_spec, spec_from_dict
 from repro.fuzz.options import options_from_dict, options_to_dict, sample_options
 from repro.fuzz.shrink import shrink_network
 from repro.network.blif import write_blif
 from repro.network.network import Network
-from repro.verify import verify_networks
+from repro.verify import VerifyError, verify_networks
 
 #: Default BDD cap for the differential cross-check -- far above anything a
 #: tier-sized random circuit produces, so "unknown" effectively never
@@ -91,6 +93,15 @@ def run_case(net: Network, options: BDSOptions,
     """
     try:
         result = bds_optimize(net, options)
+    except (CheckError, VerifyError) as exc:
+        # Invariant violations and in-flow verification mismatches are
+        # first-class finds, not generic crashes to be summarized away.
+        return Failure("crash", "flow",
+                       "%s: %s" % (type(exc).__name__, exc))
+    except BddBudgetExceeded:
+        # A resource verdict, not a bug: the harness never arms budgets
+        # itself, so one here belongs to the caller (scheduler timeout).
+        raise
     except Exception as exc:
         return Failure("crash", "flow",
                        "%s: %s" % (type(exc).__name__, exc))
@@ -101,6 +112,11 @@ def run_case(net: Network, options: BDSOptions,
         return failure
     try:
         mapped = _map_stage(result.network, map_mode)
+    except (CheckError, VerifyError) as exc:
+        return Failure("crash", "map",
+                       "%s: %s" % (type(exc).__name__, exc))
+    except BddBudgetExceeded:
+        raise
     except Exception as exc:
         return Failure("crash", "map",
                        "%s: %s" % (type(exc).__name__, exc))
@@ -270,6 +286,11 @@ def _cache_differential(net: Network,
         try:
             cold = bds_optimize(net, options, cache=cache)
             warm = bds_optimize(net, options, cache=cache)
+        except (CheckError, VerifyError) as exc:
+            return Failure("crash", "cache",
+                           "%s: %s" % (type(exc).__name__, exc))
+        except BddBudgetExceeded:
+            raise
         except Exception as exc:
             return Failure("crash", "cache",
                            "%s: %s" % (type(exc).__name__, exc))

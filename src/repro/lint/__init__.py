@@ -1,0 +1,56 @@
+"""``repro.lint``: project-specific static analysis.
+
+AST-based rules (``RPL001``..``RPL008``) enforcing the contracts the
+runtime sanitizer (:mod:`repro.check`), the differential fuzzer
+(:mod:`repro.fuzz`) and the verifier (:mod:`repro.verify`) can only
+check *after* the fact: exception-propagation of budget/check/verify
+verdicts, byte-determinism of everything that feeds serialization and
+cache keys, kernel encapsulation, GC root discipline, fork-safety of
+scheduler workers, perf-schema completeness, and atomic durable writes.
+
+Entry points: ``repro lint [paths]`` (CLI, exit 0/1/2) or
+:func:`lint_paths` / :func:`lint_sources` (API).  See docs/LINTING.md
+for the rule catalog, suppression syntax and the baseline workflow.
+"""
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineError,
+    empty_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.config import LintConfig
+from repro.lint.finding import PARSE_ERROR, Finding
+from repro.lint.registry import Rule, all_rules, register, rule_codes
+from repro.lint.runner import (
+    LintReport,
+    Project,
+    SourceModule,
+    expand_paths,
+    lint_paths,
+    lint_sources,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "PARSE_ERROR",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "empty_baseline",
+    "expand_paths",
+    "lint_paths",
+    "lint_sources",
+    "load_baseline",
+    "register",
+    "rule_codes",
+    "write_baseline",
+]

@@ -1,0 +1,87 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Best-effort dotted name of an expression (``os.path.join``,
+    ``mgr.maybe_collect``, ``set``); None when it is not a name chain."""
+    parts: List[str] = []
+    cur: ast.AST = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee, or None."""
+    return dotted_name(node.func)
+
+
+def tail_name(name: Optional[str]) -> Optional[str]:
+    """Last component of a dotted name (``mgr.maybe_collect`` ->
+    ``maybe_collect``)."""
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+def exception_names(handler_type: Optional[ast.expr]) -> Set[str]:
+    """Names caught by one ``except`` clause ({} for a bare except)."""
+    out: Set[str] = set()
+    if handler_type is None:
+        return out
+    elts = (handler_type.elts if isinstance(handler_type, ast.Tuple)
+            else [handler_type])
+    for e in elts:
+        name = dotted_name(e)
+        if name is not None:
+            out.add(tail_name(name) or name)
+    return out
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function/method definition in the module, any nesting."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_with_functions(tree: ast.Module) -> Iterator[
+        "tuple[ast.AST, tuple[ast.AST, ...]]"]:
+    """Yield every node with its chain of enclosing function defs
+    (outermost first; ``()`` for module-level nodes)."""
+
+    def visit(node: ast.AST,
+              chain: "tuple[ast.AST, ...]") -> Iterator[
+                  "tuple[ast.AST, tuple[ast.AST, ...]]"]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, chain
+                yield from visit(child, chain + (child,))
+            else:
+                yield child, chain
+                yield from visit(child, chain)
+
+    return visit(tree, ())
+
+
+def names_loaded(node: ast.AST) -> Set[str]:
+    """All plain names read anywhere under ``node``."""
+    return {n.id for n in ast.walk(node)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)}
+
+
+def call_arg_names(call: ast.Call) -> Set[str]:
+    """Plain names appearing anywhere in a call's arguments."""
+    out: Set[str] = set()
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        out |= names_loaded(arg)
+    return out

@@ -1,0 +1,119 @@
+"""The committed baseline: grandfathered findings with justifications.
+
+The baseline lets the lint gate turn on with zero noise while keeping
+every accepted finding *visible and justified*: each entry names its
+rule, file, a stable content fingerprint (so unrelated edits moving the
+line do not invalidate it), and a mandatory human-written justification.
+An entry with an empty justification is a configuration error (exit 2),
+not a silent pass -- the point of the baseline is accountability, not a
+mute button.
+
+Entries that no longer match any finding are reported as *stale* so the
+file shrinks as debt is paid down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Set
+
+from repro.lint.finding import Finding
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is unreadable or has unjustified entries."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {"rule": self.rule, "path": self.path,
+                "fingerprint": self.fingerprint,
+                "justification": self.justification}
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def match(self, finding: Finding) -> bool:
+        fp = finding.fingerprint
+        return any(e.rule == finding.rule and e.path == finding.path
+                   and e.fingerprint == fp for e in self.entries)
+
+    def stale_entries(self, findings: List[Finding]) -> List[BaselineEntry]:
+        """Entries that matched nothing in this run (debt already paid)."""
+        seen: Set[str] = {
+            "%s:%s:%s" % (f.rule, f.path, f.fingerprint) for f in findings}
+        return [e for e in self.entries
+                if "%s:%s:%s" % (e.rule, e.path, e.fingerprint) not in seen]
+
+
+def empty_baseline() -> Baseline:
+    return Baseline(entries=[])
+
+
+def load_baseline(path: str) -> Baseline:
+    try:
+        with open(path) as fh:
+            obj = json.load(fh)
+    except OSError as exc:
+        raise BaselineError("cannot read baseline %s: %s" % (path, exc))
+    except ValueError as exc:
+        raise BaselineError("baseline %s is not valid JSON: %s" % (path, exc))
+    if not isinstance(obj, dict) or obj.get("version") != FORMAT_VERSION:
+        raise BaselineError("baseline %s: unsupported version %r"
+                            % (path, obj.get("version")
+                               if isinstance(obj, dict) else obj))
+    entries: List[BaselineEntry] = []
+    for raw in obj.get("entries", []):
+        try:
+            entry = BaselineEntry(rule=str(raw["rule"]),
+                                  path=str(raw["path"]),
+                                  fingerprint=str(raw["fingerprint"]),
+                                  justification=str(raw["justification"]))
+        except (KeyError, TypeError) as exc:
+            raise BaselineError("baseline %s: malformed entry %r (%s)"
+                                % (path, raw, exc))
+        if not entry.justification.strip():
+            raise BaselineError(
+                "baseline %s: entry %s/%s has no justification -- every "
+                "grandfathered finding must say why it is acceptable"
+                % (path, entry.rule, entry.path))
+        entries.append(entry)
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: str, findings: List[Finding],
+                   justification: str = "TODO: justify or fix") -> None:
+    """Serialize ``findings`` as a fresh baseline (placeholder
+    justifications -- the committer must edit them before the file
+    loads cleanly in CI... which is exactly the point)."""
+    entries = [BaselineEntry(rule=f.rule, path=f.path,
+                             fingerprint=f.fingerprint,
+                             justification=justification)
+               for f in sorted(findings, key=lambda f: f.sort_key())]
+    # Entries are content-addressed; drop duplicates, keep order.
+    seen: Set[str] = set()
+    unique: List[BaselineEntry] = []
+    for e in entries:
+        key = "%s:%s:%s" % (e.rule, e.path, e.fingerprint)
+        if key not in seen:
+            seen.add(key)
+            unique.append(e)
+    obj = {"version": FORMAT_VERSION,
+           "entries": [e.to_json_obj() for e in unique]}
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,59 @@
+"""The unit of lint output: one finding at one source location.
+
+A finding is identified by its rule code and location, and carries a
+*fingerprint* -- a digest of ``rule:path:stripped-source-line`` -- that
+stays stable when unrelated edits shift line numbers.  Fingerprints are
+what the committed baseline (:mod:`repro.lint.baseline`) matches on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Pseudo-rule code reported for files the linter could not parse.
+#: Parse errors map to exit code 2 (the repo-wide "inconclusive" code):
+#: the file was not *checked*, which is different from "checked, clean".
+PARSE_ERROR = "RPL000"
+
+
+def fingerprint(rule: str, path: str, line_text: str) -> str:
+    """Location-independent identity of a finding (baseline matching)."""
+    blob = "%s:%s:%s" % (rule, path, line_text.strip())
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    path: str               # normalized, "/"-separated, relative when possible
+    line: int               # 1-based
+    col: int                # 0-based (ast convention)
+    message: str
+    line_text: str = ""     # the offending source line, stripped
+    extra: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.rule, self.path, self.line_text)
+
+    def sort_key(self) -> Any:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def __str__(self) -> str:
+        return "%s:%d:%d: %s %s" % (self.path, self.line, self.col + 1,
+                                    self.rule, self.message)
+
+    def to_json_obj(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+            "fingerprint": self.fingerprint,
+        }

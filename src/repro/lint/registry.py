@@ -1,0 +1,82 @@
+"""Rule base class and the global rule registry.
+
+A rule is a stateless object with a stable code (``RPL001``..), a
+one-line summary, and a ``check`` hook called once per parsed module.
+Rules that need a whole-project view (RPL007 cross-references counter
+bumps against the snapshot schema) override ``finish``, which runs once
+after every module was visited.
+
+Rules register themselves at import time via :func:`register`; importing
+:mod:`repro.lint.rules` populates the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Type, TYPE_CHECKING
+
+from repro.lint.config import LintConfig
+from repro.lint.finding import Finding
+
+if TYPE_CHECKING:
+    from repro.lint.runner import Project, SourceModule
+
+
+class Rule:
+    """One static check.  Subclasses set the class attributes and
+    implement ``check`` (per module) and/or ``finish`` (per project)."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    #: The runtime invariant / past bug this rule guards (docs/LINTING.md).
+    rationale: str = ""
+
+    def check(self, module: "SourceModule",
+              config: LintConfig) -> Iterator[Finding]:
+        return iter(())
+
+    def finish(self, project: "Project",
+               config: LintConfig) -> Iterator[Finding]:
+        return iter(())
+
+    # -- helpers shared by subclasses ----------------------------------
+
+    def finding(self, module: "SourceModule", node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        text = module.line_text(line)
+        return Finding(rule=self.code, path=module.path, line=line, col=col,
+                       message=message, line_text=text)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError("rule %r has no code" % rule_cls.__name__)
+    if rule.code in _REGISTRY:
+        raise ValueError("duplicate rule code %s" % rule.code)
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, sorted by code (imports the rule modules)."""
+    import repro.lint.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def selected_rules(config: LintConfig) -> List[Rule]:
+    return [r for r in all_rules() if config.rule_enabled(r.code)]
+
+
+def rule_codes() -> Iterable[str]:
+    import repro.lint.rules  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,63 @@
+"""Render a :class:`repro.lint.runner.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Optional
+
+from repro.lint.registry import Rule, selected_rules
+from repro.lint.config import LintConfig
+from repro.lint.runner import LintReport
+
+
+def _rule_index(config: Optional[LintConfig] = None) -> Dict[str, Rule]:
+    return {r.code: r for r in selected_rules(config or LintConfig())}
+
+
+def render_text(report: LintReport, stream: IO[str],
+                config: Optional[LintConfig] = None,
+                show_source: bool = True) -> None:
+    """Human-facing: one ``path:line:col: CODE message`` per finding,
+    the offending line indented below it, a summary line last."""
+    rules = _rule_index(config)
+    for finding in report.findings:
+        rule = rules.get(finding.rule)
+        label = " [%s]" % rule.name if rule is not None else ""
+        stream.write("%s%s\n" % (finding, label))
+        if show_source and finding.line_text:
+            stream.write("    %s\n" % finding.line_text)
+    for entry in report.stale_baseline:
+        stream.write("stale baseline entry: %s %s %s (fixed? remove it)\n"
+                     % (entry.rule, entry.path, entry.fingerprint))
+    stream.write(report.summary() + "\n")
+
+
+def render_json(report: LintReport, stream: IO[str],
+                config: Optional[LintConfig] = None) -> None:
+    """Machine-facing: one stable JSON object (sorted keys)."""
+    rules = _rule_index(config)
+    obj = {
+        "tool": "repro-lint",
+        "exit_code": report.exit_code(),
+        "files": report.files,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "stale_baseline": [e.to_json_obj() for e in report.stale_baseline],
+        "findings": [
+            dict(f.to_json_obj(),
+                 rule_name=(rules[f.rule].name if f.rule in rules else ""))
+            for f in report.findings
+        ],
+    }
+    json.dump(obj, stream, sort_keys=True, indent=2)
+    stream.write("\n")
+
+
+def render_rule_catalog(stream: IO[str],
+                        config: Optional[LintConfig] = None) -> None:
+    """``repro lint --list-rules``: code, name, summary, rationale."""
+    for rule in selected_rules(config or LintConfig()):
+        stream.write("%s  %s\n" % (rule.code, rule.name))
+        stream.write("    %s\n" % rule.summary)
+        if rule.rationale:
+            stream.write("    why: %s\n" % rule.rationale)

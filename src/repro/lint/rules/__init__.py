@@ -1,0 +1,12 @@
+"""Rule modules.  Importing this package registers every rule.
+
+Rule codes are permanent: a retired rule's code is never reused (its
+suppression comments and baseline entries may still exist in history).
+"""
+
+from repro.lint.rules import atomic_writes  # noqa: F401
+from repro.lint.rules import determinism  # noqa: F401
+from repro.lint.rules import exceptions  # noqa: F401
+from repro.lint.rules import forksafety  # noqa: F401
+from repro.lint.rules import kernel  # noqa: F401
+from repro.lint.rules import perf_schema  # noqa: F401

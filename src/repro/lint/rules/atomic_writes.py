@@ -1,0 +1,75 @@
+"""RPL008: writes under cache/corpus directories must be atomic.
+
+The artifact cache's whole corruption story (PR 6) rests on readers
+never observing a torn write: payloads land in a temp file in the same
+directory and are ``os.replace``d into place, so a crash mid-write
+leaves either the old object or no object -- both clean states.  A
+plain ``open(path, "w")`` under a durable directory reintroduces the
+torn-write window (a parallel ``repro batch`` or a killed fuzz run
+leaves a half-written object that every later reader pays for).
+
+Heuristic: inside modules that own durable directories, flag ``open``
+calls with a writing mode in functions that never call
+``os.replace``/``os.rename`` (the atomic-commit tail).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.astutil import call_name, walk_functions
+from repro.lint.config import LintConfig, match_any
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import SourceModule
+
+_ATOMIC_TAILS = {"os.replace", "os.rename"}
+
+
+def _write_mode(call: ast.Call) -> Optional[str]:
+    """The mode string of an ``open`` call when it writes, else None."""
+    mode: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return None
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        if any(c in mode.value for c in "wax"):
+            return mode.value
+    return None
+
+
+@register
+class AtomicWriteRule(Rule):
+    code = "RPL008"
+    name = "non-atomic-durable-write"
+    summary = ("open(..., 'w') under a cache/corpus directory without a "
+               "tmp + os.replace commit")
+    rationale = ("the cache treats any torn object as corruption; writers "
+                 "must make torn states unobservable (write sideways, "
+                 "os.replace into place) instead of relying on readers "
+                 "to recover")
+
+    def check(self, module: SourceModule,
+              config: LintConfig) -> Iterator[Finding]:
+        if not match_any(module.path, config.durable_write_modules):
+            return
+        for func in walk_functions(module.tree):
+            calls = [n for n in ast.walk(func) if isinstance(n, ast.Call)]
+            if any(call_name(c) in _ATOMIC_TAILS for c in calls):
+                continue
+            for call in calls:
+                if call_name(call) not in ("open", "io.open"):
+                    continue
+                mode = _write_mode(call)
+                if mode is not None:
+                    yield self.finding(
+                        module, call,
+                        "open(..., %r) in a durable-directory module "
+                        "without os.replace; write to a temp file in the "
+                        "same directory and os.replace it into place"
+                        % mode)

@@ -1,0 +1,199 @@
+"""RPL002 + RPL005: byte-level reproducibility of the optimization path.
+
+The artifact cache keys results by ``sha256(canonical BLIF) x
+cache_key()``; the fuzz corpus content-addresses entries; CI diffs BLIF
+output across runs.  One nondeterministic byte is a silent warm-cache
+miss -- the result is still *correct*, which is exactly why nobody
+notices until cache hit rates crater.  Two rule families guard this:
+
+* **RPL002** -- iterating an unsorted ``set`` where the order reaches
+  serialized bytes (BLIF emission, cache keys, corpus files) or a
+  tie-broken heuristic choice that feeds them.  String sets reorder
+  under ``PYTHONHASHSEED``; int sets reorder when the table resizes.
+  The fix is ``sorted(...)`` at the iteration site.
+* **RPL005** -- wall-clock reads and process-global RNG in deterministic
+  modules.  ``time.monotonic``/``time.perf_counter`` are fine (timing
+  reports are non-semantic and excluded from cache keys); ``time.time``,
+  ``datetime.now``, module-level ``random.*`` and seedless
+  ``random.Random()`` are not -- inject a clock or a seeded
+  ``random.Random(seed)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence, Set
+
+from repro.lint.astutil import call_name, tail_name, walk_with_functions
+from repro.lint.config import LintConfig, match_any
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import SourceModule
+
+#: Consumers whose result order follows the iterable's order.
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter"}
+
+
+def _set_typed_names(scope: ast.AST, config: LintConfig) -> Set[str]:
+    """Names assigned from a syntactically set-typed expression within
+    one scope.  Nested functions are included (a closed-over set is
+    still a set); names set-typed in *other* functions are not -- the
+    same identifier is routinely a sorted list elsewhere."""
+    names: Set[str] = set()
+    # Two passes so `a = set(); b = a | other` resolves.
+    for _ in range(2):
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                if _is_set_expr(node.value, names, config):
+                    names.add(node.targets[0].id)
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name) \
+                    and node.value is not None:
+                if _is_set_expr(node.value, names, config):
+                    names.add(node.target.id)
+    return names
+
+
+def _scope_body(tree: ast.Module) -> ast.Module:
+    """The module's top-level statements with function bodies removed --
+    the taint scope for module-level consumption sites."""
+    stripped = ast.Module(body=[], type_ignores=[])
+    for stmt in tree.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            stripped.body.append(stmt)
+    return stripped
+
+
+def _is_set_expr(node: ast.AST, setnames: Set[str],
+                 config: LintConfig) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = tail_name(call_name(node))
+        return name in config.set_returning_calls
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        return (_is_set_expr(node.left, setnames, config)
+                or _is_set_expr(node.right, setnames, config))
+    if isinstance(node, ast.Name):
+        return node.id in setnames
+    return False
+
+
+@register
+class UnsortedSetIterationRule(Rule):
+    code = "RPL002"
+    name = "unsorted-set-iteration"
+    summary = ("set/dict-order-dependent iteration feeding BLIF emission, "
+               "serialization, or cache keys")
+    rationale = ("cache keys are content hashes: one hash-order byte in "
+                 "the canonical BLIF and every warm lookup silently "
+                 "misses (sop/cover.py:82 broke ties by set order)")
+
+    def check(self, module: SourceModule,
+              config: LintConfig) -> Iterator[Finding]:
+        module_in_scope = match_any(module.path, config.determinism_modules)
+        taint_cache: Dict[int, Set[str]] = {}
+
+        def taint(scope: ast.AST) -> Set[str]:
+            key = id(scope)
+            if key not in taint_cache:
+                taint_cache[key] = _set_typed_names(scope, config)
+            return taint_cache[key]
+
+        module_scope = _scope_body(module.tree)
+        for node, func_chain in walk_with_functions(module.tree):
+            if not module_in_scope and not any(
+                    frag in fn.name for fn in func_chain
+                    for frag in config.determinism_sink_functions):
+                continue
+            scope = func_chain[-1] if func_chain else module_scope
+            yield from self._check_node(module, node, taint(scope), config)
+
+    def _check_node(self, module: SourceModule, node: ast.AST,
+                    setnames: Set[str],
+                    config: LintConfig) -> Iterator[Finding]:
+        def flag(site: ast.AST, what: str) -> Finding:
+            return self.finding(
+                module, site,
+                "%s iterates a set in hash order on a serialization/"
+                "cache-key path; wrap the set in sorted(...)" % what)
+
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter, setnames, config):
+                yield flag(node, "for-loop")
+        elif isinstance(node, (ast.ListComp, ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, setnames, config):
+                    yield flag(node, "comprehension")
+        elif isinstance(node, ast.Call):
+            name = tail_name(call_name(node))
+            args: Sequence[ast.expr] = node.args
+            if name in _ORDER_SENSITIVE_CALLS and args \
+                    and _is_set_expr(args[0], setnames, config):
+                yield flag(node, "%s()" % name)
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "join" and args \
+                    and _is_set_expr(args[0], setnames, config):
+                # Catches literal receivers too: ','.join(s) has no
+                # dotted callee name.
+                yield flag(node, "str.join()")
+            elif name in ("max", "min") and args \
+                    and any(kw.arg == "key" for kw in node.keywords) \
+                    and _is_set_expr(args[0], setnames, config):
+                # Ties under `key` are broken by iteration order.
+                yield flag(node, "%s(..., key=...)" % name)
+
+
+#: Dotted-name suffixes that read ambient nondeterminism.
+_CLOCK_CALLS = ("time.time", "time.time_ns", "datetime.now",
+                "datetime.utcnow", "date.today", "os.urandom", "uuid.uuid4",
+                "uuid.uuid1")
+
+
+@register
+class AmbientNondeterminismRule(Rule):
+    code = "RPL005"
+    name = "ambient-nondeterminism"
+    summary = ("wall-clock / process-global RNG in a deterministic module "
+               "without an injected clock or seeded Random")
+    rationale = ("identical inputs must produce identical artifacts for "
+                 "content-addressed caching and differential fuzzing to "
+                 "mean anything; monotonic timers are exempt (timing "
+                 "reports are non-semantic)")
+
+    def check(self, module: SourceModule,
+              config: LintConfig) -> Iterator[Finding]:
+        if not match_any(module.path, config.deterministic_modules):
+            return
+        if match_any(module.path, config.deterministic_exempt):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if any(name == c or name.endswith("." + c)
+                   for c in _CLOCK_CALLS):
+                yield self.finding(
+                    module, node,
+                    "%s() is ambient nondeterminism on a deterministic "
+                    "path; inject a clock/seed instead" % name)
+            elif name.startswith("random.") and name != "random.Random":
+                yield self.finding(
+                    module, node,
+                    "module-level %s() uses the shared unseeded RNG; pass "
+                    "a seeded random.Random instance" % name)
+            elif name.startswith("secrets."):
+                yield self.finding(
+                    module, node,
+                    "%s() is nondeterministic by design; deterministic "
+                    "paths must not use it" % name)
+            elif name == "random.Random" and not node.args \
+                    and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed")

@@ -1,0 +1,178 @@
+"""RPL003 + RPL004: the BDD kernel's encapsulation and GC contracts.
+
+* **RPL003** -- the manager's node arrays (``_var``/``_lo``/``_hi``),
+  refcount vector ``_ref``, per-level live counters ``_var_counts``,
+  unique/computed tables and order maps are maintained *incrementally*
+  (PR 5); a write from outside silently desynchronizes the O(1)
+  bookkeeping and only the ``repro.check`` sanitizer -- at the next safe
+  point, far from the culprit -- notices.  Only ``repro.bdd`` (owner)
+  and ``repro.check`` (auditor) may touch them.
+
+* **RPL004** -- node handles are indices into arrays compacted by the
+  mark-and-sweep collector.  A handle obtained before
+  ``maybe_collect``/``collect_garbage`` and used after is dangling
+  unless it was registered as a root (``register_root``) or passed in
+  that call's ``extra_roots``.  The rule is a per-function, line-order
+  heuristic over local names: it catches the shape that bit the
+  eliminate loop, not aliasing through containers (the runtime
+  sanitizer owns the general case).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.lint.astutil import call_arg_names, call_name, tail_name
+from repro.lint.config import LintConfig, match_any
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import SourceModule
+
+
+@register
+class KernelPrivateStateRule(Rule):
+    code = "RPL003"
+    name = "kernel-private-state"
+    summary = ("BDD-manager private state accessed outside repro.bdd / "
+               "repro.check")
+    rationale = ("the swap bookkeeping keeps _ref/_var_counts exact "
+                 "incrementally; an outside write desynchronizes them and "
+                 "surfaces only as a sanitizer violation at a later safe "
+                 "point, far from the bug")
+
+    def check(self, module: SourceModule,
+              config: LintConfig) -> Iterator[Finding]:
+        if match_any(module.path, config.kernel_private_allow):
+            return
+        private = set(config.kernel_private_attrs)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in private:
+                continue
+            # A class's *own* private attribute is its business; the rule
+            # targets reaching into another object's kernel state.
+            if isinstance(node.value, ast.Name) \
+                    and node.value.id in ("self", "cls"):
+                continue
+            yield self.finding(
+                module, node,
+                "access to BDD-manager private state '.%s' outside "
+                "repro.bdd/repro.check; use the public API" % node.attr)
+
+
+@register
+class HandleAcrossGcRule(Rule):
+    code = "RPL004"
+    name = "handle-across-gc"
+    summary = ("BDD node handle held across a maybe_collect/collect_garbage "
+               "safe point without root registration")
+    rationale = ("the collector tombstones unreachable slots and reuses "
+                 "them; an unregistered handle that survives a safe point "
+                 "is a use-after-free on the node arrays")
+
+    def check(self, module: SourceModule,
+              config: LintConfig) -> Iterator[Finding]:
+        if match_any(module.path, config.kernel_private_allow):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, config)
+
+    @staticmethod
+    def _terminal_collect_lines(func: ast.AST,
+                                safe_points: Set[str]) -> Set[int]:
+        """Lines of safe-point calls whose next sibling statement exits
+        the current path (continue/break/raise).  ``return`` is *not*
+        terminal: its value expression evaluates after the collect --
+        the exact use-after-free shape the rule exists for."""
+        terminal: Set[int] = set()
+        for node in ast.walk(func):
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(node, field, None)
+                if not isinstance(block, list):
+                    continue
+                for stmt, nxt in zip(block, block[1:]):
+                    if not isinstance(nxt, (ast.Continue, ast.Break,
+                                            ast.Raise)):
+                        continue
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call) and \
+                                tail_name(call_name(sub)) in safe_points:
+                            terminal.add(sub.lineno)
+        return terminal
+
+    def _check_function(self, module: SourceModule, func: ast.AST,
+                        config: LintConfig) -> Iterator[Finding]:
+        handle_ops = set(config.bdd_handle_ops)
+        safe_points = set(config.gc_safe_points)
+        registrations = set(config.root_registrations)
+
+        handle_assigns: Dict[str, int] = {}    # name -> first assign line
+        all_assigns: Dict[str, List[int]] = {}  # name -> every assign line
+        protects: Dict[str, int] = {}          # name -> first protect line
+        collects: List[Tuple[int, Set[str]]] = []  # (line, names in args)
+        uses: Dict[str, List[int]] = {}        # name -> load lines
+
+        # A safe point immediately followed by continue/break/return/raise
+        # abandons the current path: later lines are not "after" it in
+        # control flow (the eliminate loop's trial-composition bailout).
+        terminal_lines = self._terminal_collect_lines(func, safe_points)
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        all_assigns.setdefault(target.id, []).append(
+                            node.lineno)
+                        if isinstance(node.value, ast.Call) and \
+                                tail_name(call_name(node.value)) \
+                                in handle_ops:
+                            prev = handle_assigns.get(target.id)
+                            if prev is None or node.lineno < prev:
+                                handle_assigns[target.id] = node.lineno
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(node.target, ast.Name):
+                    all_assigns.setdefault(node.target.id, []).append(
+                        node.lineno)
+            elif isinstance(node, ast.Call):
+                name = tail_name(call_name(node))
+                if name in registrations:
+                    for arg in call_arg_names(node):
+                        prev = protects.get(arg)
+                        if prev is None or node.lineno < prev:
+                            protects[arg] = node.lineno
+                elif name in safe_points \
+                        and node.lineno not in terminal_lines:
+                    collects.append((node.lineno, call_arg_names(node)))
+            elif isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load):
+                uses.setdefault(node.id, []).append(node.lineno)
+
+        reported: Set[str] = set()
+        for collect_line, collect_args in collects:
+            for name, assign_line in sorted(handle_assigns.items()):
+                if name in reported or assign_line >= collect_line:
+                    continue
+                if name in collect_args:
+                    continue  # kept alive as an extra root of this collect
+                if protects.get(name, 10 ** 9) <= collect_line:
+                    continue  # registered as a root before the safe point
+                for use_line in sorted(uses.get(name, [])):
+                    if use_line <= collect_line:
+                        continue
+                    # A reassignment between the collect and the use means
+                    # the use reads a fresh (post-GC) handle.
+                    if any(collect_line < a <= use_line
+                           for a in all_assigns.get(name, [])):
+                        continue
+                    reported.add(name)
+                    yield Finding(
+                        rule=self.code, path=module.path, line=use_line,
+                        col=0, line_text=module.line_text(use_line),
+                        message="handle '%s' (assigned line %d) is used "
+                                "after the GC safe point on line %d "
+                                "without register_root/extra_roots"
+                                % (name, assign_line, collect_line))
+                    break

@@ -1,0 +1,87 @@
+"""RPL007: every bumped perf counter must be in the snapshot schema.
+
+``repro.perf`` aggregates per-manager snapshots; flows, benchmarks and
+the service all report through ``perf_snapshot()`` dicts.  A counter
+that is incremented (``mgr.perf.foo += 1``) but never emitted by any
+``perf_snapshot()`` is dead telemetry: the cost of maintaining it is
+paid on the hot path, and the number silently never reaches
+``BDSResult.perf``, the JSON CLI output, or the benchmark files.  (PR 5
+shipped exactly this bug for an early draft of ``reorder_swaps``.)
+
+This is a whole-project rule: bump sites are collected from every
+module, the schema is the union of string keys of dict literals inside
+any function named ``perf_snapshot``, and unmatched bumps are reported
+at their site in ``finish``.  When the linted tree contains no
+``perf_snapshot`` at all (e.g. linting a single unrelated file) the
+rule stays silent rather than flagging everything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import Project, SourceModule
+
+
+def _snapshot_keys(tree: ast.Module) -> Set[str]:
+    """String keys of every dict literal inside ``perf_snapshot`` defs."""
+    keys: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == "perf_snapshot":
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Dict):
+                    for key in sub.keys:
+                        if isinstance(key, ast.Constant) \
+                                and isinstance(key.value, str):
+                            keys.add(key.value)
+    return keys
+
+
+def _perf_bumps(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """``(counter, node)`` for every ``<x>.perf.<counter> += ...`` /
+    ``perf.<counter> += ...`` augmented assignment."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.AugAssign):
+            continue
+        target = node.target
+        if not isinstance(target, ast.Attribute):
+            continue
+        owner = target.value
+        if isinstance(owner, ast.Name) and owner.id == "perf":
+            yield target.attr, node
+        elif isinstance(owner, ast.Attribute) and owner.attr == "perf":
+            yield target.attr, node
+
+
+@register
+class PerfSchemaRule(Rule):
+    code = "RPL007"
+    name = "perf-counter-not-in-snapshot"
+    summary = ("perf counter bumped but absent from every perf_snapshot() "
+               "schema")
+    rationale = ("a counter that never reaches a snapshot is dead "
+                 "telemetry paid for on the hot path; benchmarks and the "
+                 "service report only what perf_snapshot() emits")
+
+    def finish(self, project: Project,
+               config: LintConfig) -> Iterator[Finding]:
+        schema: Set[str] = set()
+        bumps: List[Tuple[str, SourceModule, ast.AST]] = []
+        for module in project.modules:
+            schema |= _snapshot_keys(module.tree)
+            for counter, node in _perf_bumps(module.tree):
+                bumps.append((counter, module, node))
+        if not schema:
+            return
+        for counter, module, node in bumps:
+            if counter not in schema:
+                yield self.finding(
+                    module, node,
+                    "perf counter '%s' is bumped here but missing from "
+                    "every perf_snapshot() schema; add it to the snapshot "
+                    "or drop the bump" % counter)

@@ -1,0 +1,207 @@
+"""The lint driver: discover files, parse, dispatch rules, filter.
+
+Pipeline: expand path arguments to ``.py`` files -> parse each into a
+:class:`SourceModule` (suppression comments pre-indexed) -> run every
+selected rule's per-module ``check`` -> run project-wide ``finish``
+hooks (RPL007 needs the whole picture) -> drop suppressed findings ->
+drop baselined findings -> sort.  Counts of everything dropped are kept
+on the report so silencing is always visible.
+
+A file that does not parse yields an ``RPL000`` finding and maps to
+exit code 2: an unparsed file was not checked, which must not read as
+"clean".
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.baseline import Baseline, BaselineEntry, empty_baseline
+from repro.lint.config import LintConfig
+from repro.lint.finding import Finding, PARSE_ERROR
+from repro.lint.registry import Rule, selected_rules
+from repro.lint.suppress import collect_suppressions, is_suppressed
+
+
+def normalize_path(path: str) -> str:
+    """Stable, "/"-separated path: relative to the CWD when inside it."""
+    absolute = os.path.abspath(path)
+    rel = os.path.relpath(absolute, os.getcwd())
+    chosen = absolute if rel.startswith("..") else rel
+    return chosen.replace(os.sep, "/")
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, ready for the rules."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    suppressions: Dict[int, Set[str]]
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+@dataclass
+class Project:
+    """Every module of one lint run (input to ``Rule.finish``)."""
+
+    modules: List[SourceModule] = field(default_factory=list)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def parse_errors(self) -> int:
+        return sum(1 for f in self.findings if f.rule == PARSE_ERROR)
+
+    def exit_code(self) -> int:
+        """Repo-wide contract: 0 clean, 1 violations, 2 inconclusive."""
+        if self.parse_errors:
+            return 2
+        return 1 if self.findings else 0
+
+    def summary(self) -> str:
+        bits = ["%d finding(s)" % len(self.findings),
+                "%d file(s)" % self.files]
+        if self.suppressed:
+            bits.append("%d suppressed" % self.suppressed)
+        if self.baselined:
+            bits.append("%d baselined" % self.baselined)
+        if self.stale_baseline:
+            bits.append("%d stale baseline entr%s" %
+                        (len(self.stale_baseline),
+                         "y" if len(self.stale_baseline) == 1 else "ies"))
+        return "lint: " + ", ".join(bits)
+
+
+def expand_paths(paths: Sequence[str],
+                 config: Optional[LintConfig] = None) -> List[str]:
+    """Expand files/directories to a sorted, de-duplicated ``.py`` list.
+
+    Directory walks skip ``config.exclude_dirs`` (fixture trees hold
+    deliberately-bad code); explicitly named files are never filtered.
+    """
+    cfg = config or LintConfig()
+    out: List[str] = []
+    seen: Set[str] = set()
+
+    def add(path: str) -> None:
+        if path not in seen:
+            seen.add(path)
+            out.append(path)
+
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d not in cfg.exclude_dirs)
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        add(os.path.join(dirpath, name))
+        else:
+            add(path)
+    return out
+
+
+def parse_module(path: str, source: str) -> SourceModule:
+    """Parse one file (raises SyntaxError for the caller to report)."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    return SourceModule(path=normalize_path(path), source=source, tree=tree,
+                        lines=lines, suppressions=collect_suppressions(lines))
+
+
+def lint_sources(sources: Dict[str, str],
+                 config: Optional[LintConfig] = None,
+                 baseline: Optional[Baseline] = None) -> LintReport:
+    """Lint in-memory sources (``{path: text}``) -- the testing seam."""
+    cfg = config or LintConfig()
+    base = baseline or empty_baseline()
+    project = Project()
+    parse_findings: List[Finding] = []
+    for path in sorted(sources):
+        try:
+            project.modules.append(parse_module(path, sources[path]))
+        except SyntaxError as exc:
+            parse_findings.append(Finding(
+                rule=PARSE_ERROR, path=normalize_path(path),
+                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message="file does not parse: %s" % exc.msg))
+    return _run_rules(project, cfg, base, parse_findings,
+                      files=len(sources))
+
+
+def lint_paths(paths: Sequence[str],
+               config: Optional[LintConfig] = None,
+               baseline: Optional[Baseline] = None) -> LintReport:
+    """Lint files / directory trees on disk."""
+    cfg = config or LintConfig()
+    files = expand_paths(paths, cfg)
+    sources: Dict[str, str] = {}
+    unreadable: List[Finding] = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                sources[path] = fh.read()
+        except OSError as exc:
+            unreadable.append(Finding(
+                rule=PARSE_ERROR, path=normalize_path(path), line=1, col=0,
+                message="cannot read file: %s" % exc))
+    report = lint_sources(sources, cfg, baseline)
+    if unreadable:
+        report = LintReport(
+            findings=sorted(report.findings + unreadable,
+                            key=lambda f: f.sort_key()),
+            files=report.files + len(unreadable),
+            suppressed=report.suppressed, baselined=report.baselined,
+            stale_baseline=report.stale_baseline)
+    return report
+
+
+def _run_rules(project: Project, cfg: LintConfig, baseline: Baseline,
+               parse_findings: List[Finding], files: int) -> LintReport:
+    rules: List[Rule] = selected_rules(cfg)
+    raw: List[Finding] = []
+    for module in project.modules:
+        for rule in rules:
+            raw.extend(rule.check(module, cfg))
+    for rule in rules:
+        raw.extend(rule.finish(project, cfg))
+
+    by_path = {m.path: m for m in project.modules}
+    active: List[Finding] = []
+    suppressed = 0
+    baselined_findings: List[Finding] = []
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and is_suppressed(
+                module.suppressions, finding.line, finding.rule):
+            suppressed += 1
+            continue
+        if baseline.match(finding):
+            baselined_findings.append(finding)
+            continue
+        active.append(finding)
+    active.extend(parse_findings)
+    active.sort(key=lambda f: f.sort_key())
+    return LintReport(
+        findings=active, files=files, suppressed=suppressed,
+        baselined=len(baselined_findings),
+        stale_baseline=baseline.stale_entries(raw))

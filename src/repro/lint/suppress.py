@@ -1,0 +1,55 @@
+"""Per-line suppression comments.
+
+A finding is suppressed by a ``# repro-lint: disable=RPL001`` comment
+either trailing the offending line or standing alone on the line
+directly above it (comment-only lines chain, so a block of comments
+above the target all apply).  ``disable=all`` suppresses every rule on
+that line.  Suppressions are counted and reported in the summary so a
+silenced finding never disappears without trace.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+#: ``# repro-lint: disable=RPL001`` or ``disable=RPL001,RPL005`` / ``all``.
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+def _codes(match_text: str) -> Set[str]:
+    return {c.strip().upper() for c in match_text.split(",") if c.strip()}
+
+
+def collect_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of suppressed rule codes.
+
+    The returned map already resolves standalone comment directives onto
+    the first following non-comment line.
+    """
+    out: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()
+    for i, line in enumerate(lines, start=1):
+        m = _DIRECTIVE.search(line)
+        if _COMMENT_ONLY.match(line):
+            if m:
+                pending |= _codes(m.group(1))
+            continue
+        codes: Set[str] = set(pending)
+        pending = set()
+        if m:
+            codes |= _codes(m.group(1))
+        if codes:
+            out[i] = out.get(i, set()) | codes
+    return out
+
+
+def is_suppressed(suppressions: Dict[int, Set[str]], line: int,
+                  code: str) -> bool:
+    codes = suppressions.get(line)
+    if not codes:
+        return False
+    return code.upper() in codes or "ALL" in codes

@@ -38,6 +38,8 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 import multiprocessing as mp
 
 from repro.bdd.manager import BddBudgetExceeded
+from repro.check import CheckError
+from repro.verify import VerifyError
 
 #: Seconds past a job's deadline before the parent terminates the worker
 #: (the window in which the in-worker SIGALRM path may still report a
@@ -118,16 +120,22 @@ def _child_main(conn: Any, worker: Callable[[Dict[str, Any]], Dict[str, Any]],
         conn.send(out)
     except BddBudgetExceeded as exc:
         conn.send({"status": "timeout", "error": str(exc)})
+    except (CheckError, VerifyError) as exc:
+        # Invariant violations and verification mismatches are job
+        # verdicts in their own right -- report them by name so the
+        # service response says *what* failed, not just that it did.
+        conn.send({"status": "failed",
+                   "error": "%s: %s" % (type(exc).__name__, exc)})
     except BaseException as exc:  # report, never hang the parent
         try:
             conn.send({"status": "failed",
                        "error": "%s: %s" % (type(exc).__name__, exc)})
-        except Exception:
-            pass
+        except (OSError, ValueError, TypeError):
+            pass  # pipe already gone or payload unpicklable
     finally:
         try:
             conn.close()
-        except Exception:
+        except OSError:
             pass
 
 

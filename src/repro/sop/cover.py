@@ -79,7 +79,7 @@ def _most_binate_var(cover: Cover) -> Optional[int]:
         for l in cube:
             (neg if l & 1 else pos)[l >> 1] = (neg if l & 1 else pos).get(l >> 1, 0) + 1
     best, best_score = None, -1
-    for v in set(pos) & set(neg):
+    for v in sorted(set(pos) & set(neg)):
         score = pos[v] + neg[v]
         if score > best_score:
             best, best_score = v, score
@@ -112,7 +112,7 @@ def is_tautology(cover: Cover) -> bool:
     binate = pos_vars & neg_vars
     if not binate:
         return False
-    v = max(binate, key=lambda u: sum(1 for c in cover if lit(u) in c or lit(u, False) in c))
+    v = max(sorted(binate), key=lambda u: sum(1 for c in cover if lit(u) in c or lit(u, False) in c))
     return (is_tautology(cover_cofactor(cover, lit(v, True)))
             and is_tautology(cover_cofactor(cover, lit(v, False))))
 

@@ -1,0 +1,8 @@
+"""RPL001 bad: broad handler swallows every contract exception."""
+
+
+def run_quietly(run):
+    try:
+        return run()
+    except Exception:
+        return None

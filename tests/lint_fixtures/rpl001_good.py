@@ -1,0 +1,20 @@
+"""RPL001 good: contract exceptions escape (re-raise) or are handled
+by an earlier narrower clause."""
+
+
+def run_reraising(run):
+    try:
+        return run()
+    except Exception:
+        raise
+
+
+def run_with_narrow_handlers(run, BddBudgetExceeded, CheckError, VerifyError):
+    try:
+        return run()
+    except BddBudgetExceeded:
+        return "budget"
+    except (CheckError, VerifyError):
+        return "verdict"
+    except Exception:
+        return None

@@ -1,0 +1,9 @@
+"""RPL002 bad: hash-order iteration feeding a serialization path."""
+
+
+def emit(items):
+    names = set(items)
+    lines = []
+    for name in names:
+        lines.append(".names %s" % name)
+    return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""RPL002 good: the set is sorted at the iteration site."""
+
+
+def emit(items):
+    names = set(items)
+    lines = []
+    for name in sorted(names):
+        lines.append(".names %s" % name)
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""RPL003 bad: reaching into another object's kernel-private arrays."""
+
+
+def peek_refcount(mgr, ref):
+    return mgr._ref[ref >> 1]

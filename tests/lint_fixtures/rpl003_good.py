@@ -1,0 +1,14 @@
+"""RPL003 good: public accessors outside; a class's own private state
+(via self) is its business."""
+
+
+def peek_node(mgr, ref):
+    return mgr.node(ref)
+
+
+class Owner:
+    def __init__(self):
+        self._ref = [0]
+
+    def bump(self):
+        self._ref[0] += 1

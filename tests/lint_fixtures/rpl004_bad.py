@@ -1,0 +1,7 @@
+"""RPL004 bad: a handle from before the safe point is used after it."""
+
+
+def build(mgr, a, b):
+    f = mgr.ite(a, b, b)
+    mgr.maybe_collect()
+    return mgr.node(f)

@@ -1,0 +1,22 @@
+"""RPL004 good: the handle is protected (register_root / extra_roots)
+or refreshed before use."""
+
+
+def build_registered(mgr, a, b):
+    f = mgr.ite(a, b, b)
+    mgr.register_root(f)
+    mgr.maybe_collect()
+    return mgr.node(f)
+
+
+def build_extra_roots(mgr, a, b):
+    f = mgr.ite(a, b, b)
+    mgr.maybe_collect([f])
+    return mgr.node(f)
+
+
+def build_refreshed(mgr, a, b):
+    f = mgr.ite(a, b, b)
+    mgr.maybe_collect()
+    f = mgr.ite(a, b, b)
+    return mgr.node(f)

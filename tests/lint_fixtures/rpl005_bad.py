@@ -1,0 +1,13 @@
+"""RPL005 bad: ambient nondeterminism on a deterministic path."""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def shuffle(items):
+    random.shuffle(items)
+    return items

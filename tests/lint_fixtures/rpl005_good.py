@@ -1,0 +1,15 @@
+"""RPL005 good: monotonic timers are non-semantic; RNG is injected and
+seeded."""
+
+import random
+import time
+
+
+def elapsed(start):
+    return time.monotonic() - start
+
+
+def shuffle(items, seed):
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    return items

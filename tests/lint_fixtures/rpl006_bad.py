@@ -1,0 +1,10 @@
+"""RPL006 bad: signal handler outside the sanctioned worker entry and
+module-level mutable state shared with forked workers."""
+
+import signal
+
+RESULT_CACHE = {}
+
+
+def install(handler):
+    signal.signal(signal.SIGALRM, handler)

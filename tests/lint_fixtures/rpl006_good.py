@@ -1,0 +1,10 @@
+"""RPL006 good: immutable module state; mutable state stays local."""
+
+FROZEN_DEFAULTS = ("cec", "sim")
+_LIMIT = 64
+
+
+def worker(payload):
+    scratch = {}
+    scratch["payload"] = payload
+    return scratch

@@ -1,0 +1,14 @@
+"""RPL007 bad: a counter is bumped but missing from the snapshot."""
+
+
+class Perf:
+    def __init__(self):
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def perf_snapshot(self):
+        return {"cache_hits": self.cache_hits}
+
+
+def record_miss(perf):
+    perf.cache_misses += 1

@@ -1,0 +1,19 @@
+"""RPL007 good: every bumped counter appears in the snapshot schema."""
+
+
+class Perf:
+    def __init__(self):
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def perf_snapshot(self):
+        return {"cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses}
+
+
+def record_miss(perf):
+    perf.cache_misses += 1
+
+
+def record_hit(perf):
+    perf.cache_hits += 1

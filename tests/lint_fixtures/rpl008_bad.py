@@ -1,0 +1,7 @@
+"""RPL008 bad: direct write under a durable directory -- a reader can
+observe the torn file."""
+
+
+def save(path, text):
+    with open(path, "w") as fh:
+        fh.write(text)

@@ -1,0 +1,10 @@
+"""RPL008 good: write to a temp name, then publish atomically."""
+
+import os
+
+
+def save(path, text):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(text)
+    os.replace(tmp, path)

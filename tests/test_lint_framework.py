@@ -1,0 +1,214 @@
+"""Framework behavior of repro-lint: suppressions, baseline round-trip,
+fingerprint stability, reporters, CLI exit codes, and the self-lint
+gate (the linter must hold this repository to its own rules)."""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import (
+    BaselineError,
+    Finding,
+    LintConfig,
+    empty_baseline,
+    lint_sources,
+    load_baseline,
+    write_baseline,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: RPL001 is scoped everywhere, so framework tests ride on it.
+BAD = ("def f(run):\n"
+       "    try:\n"
+       "        return run()\n"
+       "    except Exception:\n"
+       "        return None\n")
+
+CFG = LintConfig(select=frozenset({"RPL001"}))
+
+
+def _run_cli(args, cwd):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint"] + args,
+        cwd=cwd, env=env, capture_output=True, text=True)
+
+
+# -- suppressions ------------------------------------------------------
+
+
+def test_suppression_same_line():
+    src = BAD.replace("    except Exception:",
+                      "    except Exception:  # repro-lint: disable=RPL001")
+    report = lint_sources({"x.py": src}, CFG)
+    assert report.findings == [] and report.suppressed == 1
+
+
+def test_suppression_comment_line_above():
+    src = BAD.replace(
+        "    except Exception:",
+        "    # repro-lint: disable=RPL001\n    except Exception:")
+    report = lint_sources({"x.py": src}, CFG)
+    assert report.findings == [] and report.suppressed == 1
+
+
+def test_suppression_disable_all():
+    src = BAD.replace("    except Exception:",
+                      "    except Exception:  # repro-lint: disable=all")
+    report = lint_sources({"x.py": src}, CFG)
+    assert report.findings == [] and report.suppressed == 1
+
+
+def test_suppression_wrong_code_does_not_silence():
+    src = BAD.replace("    except Exception:",
+                      "    except Exception:  # repro-lint: disable=RPL005")
+    report = lint_sources({"x.py": src}, CFG)
+    assert [f.rule for f in report.findings] == ["RPL001"]
+
+
+# -- baseline ----------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    findings = lint_sources({"x.py": BAD}, CFG).findings
+    assert len(findings) == 1
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, findings, justification="grandfathered: see PR 8")
+    baseline = load_baseline(path)
+    report = lint_sources({"x.py": BAD}, CFG, baseline)
+    assert report.findings == []
+    assert report.baselined == 1
+    assert report.stale_baseline == []
+    assert report.exit_code() == 0
+
+
+def test_baseline_fingerprint_survives_line_drift(tmp_path):
+    findings = lint_sources({"x.py": BAD}, CFG).findings
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, findings, justification="grandfathered")
+    drifted = "import os  # noqa: F401\n\n\n" + BAD
+    report = lint_sources({"x.py": drifted}, CFG, load_baseline(path))
+    assert report.findings == [] and report.baselined == 1
+
+
+def test_baseline_goes_stale_when_fixed(tmp_path):
+    findings = lint_sources({"x.py": BAD}, CFG).findings
+    path = str(tmp_path / "baseline.json")
+    write_baseline(path, findings, justification="grandfathered")
+    fixed = BAD.replace("        return None\n", "        raise\n")
+    report = lint_sources({"x.py": fixed}, CFG, load_baseline(path))
+    assert report.findings == []
+    assert [e.fingerprint for e in report.stale_baseline] \
+        == [findings[0].fingerprint]
+
+
+def test_baseline_rejects_empty_justification(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    data = {"version": 1, "entries": [{
+        "rule": "RPL001", "path": "x.py", "fingerprint": "0" * 16,
+        "justification": "   "}]}
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    with open(path, "w") as fh:
+        json.dump({"version": 99, "entries": []}, fh)
+    with pytest.raises(BaselineError):
+        load_baseline(path)
+
+
+# -- parse errors and reporters ----------------------------------------
+
+
+def test_parse_error_is_inconclusive_not_clean():
+    report = lint_sources({"broken.py": "def f(:\n"}, CFG)
+    assert report.parse_errors == 1
+    assert report.exit_code() == 2
+    assert report.findings[0].rule == "RPL000"
+
+
+def test_finding_str_is_path_line_col():
+    f = lint_sources({"x.py": BAD}, CFG).findings[0]
+    assert str(f).startswith("x.py:%d:" % f.line)
+    assert "RPL001" in str(f)
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_json(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("def f():\n    return 1\n")
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD)
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+
+    assert _run_cli([str(clean)], tmp_path).returncode == 0
+    res = _run_cli([str(bad), "--format", "json"], tmp_path)
+    assert res.returncode == 1
+    obj = json.loads(res.stdout)
+    assert obj["exit_code"] == 1
+    assert [f["rule"] for f in obj["findings"]] == ["RPL001"]
+    assert _run_cli([str(broken)], tmp_path).returncode == 2
+
+
+def test_cli_write_baseline_then_clean(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD)
+    res = _run_cli([str(bad), "--write-baseline"], tmp_path)
+    assert res.returncode == 0, res.stderr
+    assert (tmp_path / "lint-baseline.json").exists()
+    # The default baseline (lint-baseline.json in the CWD) now covers it.
+    assert _run_cli([str(bad)], tmp_path).returncode == 0
+    # ... unless the baseline is explicitly ignored.
+    assert _run_cli([str(bad), "--no-baseline"], tmp_path).returncode == 1
+
+
+def test_cli_list_rules(tmp_path):
+    res = _run_cli(["--list-rules"], tmp_path)
+    assert res.returncode == 0
+    for code in ("RPL001", "RPL008"):
+        assert code in res.stdout
+
+
+def test_self_lint_repo_is_clean():
+    """The CI gate, as a tier-1 test: this repository passes its own
+    linter (with the committed baseline)."""
+    res = _run_cli(["src", "tests"], REPO_ROOT)
+    assert res.returncode == 0, res.stdout + res.stderr
+
+
+def test_committed_baseline_is_small_and_justified():
+    baseline = load_baseline(os.path.join(REPO_ROOT, "lint-baseline.json"))
+    assert 0 < len(baseline.entries) <= 5
+    for entry in baseline.entries:
+        assert len(entry.justification.strip()) >= 20
+        assert "TODO" not in entry.justification
+
+
+def test_config_select_unknown_rule_yields_nothing():
+    cfg = dataclasses.replace(CFG, select=frozenset({"RPL999"}))
+    assert lint_sources({"x.py": BAD}, cfg).findings == []
+
+
+def test_fingerprint_ignores_whitespace():
+    a = Finding(rule="RPL001", path="x.py", line=4, col=0,
+                message="m", line_text="except Exception:")
+    b = Finding(rule="RPL001", path="x.py", line=9, col=0,
+                message="m", line_text="  except Exception:  ")
+    assert a.fingerprint == b.fingerprint
+
+
+def test_empty_baseline_matches_nothing():
+    report = lint_sources({"x.py": BAD}, CFG, empty_baseline())
+    assert len(report.findings) == 1 and report.baselined == 0

@@ -1,0 +1,124 @@
+"""Fixture-driven tests for every repro-lint rule (docs/LINTING.md).
+
+Each rule has a minimal bad fixture it must fire on and a good fixture
+it must stay silent on.  The fixture tree is excluded from directory
+expansion (it holds deliberately-bad code), so the tests name the files
+explicitly; scope patterns are overridden to point the path-scoped
+rules at it.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.lint import LintConfig, all_rules, lint_paths, lint_sources, rule_codes
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lint_fixtures")
+
+#: Every scope opened onto the fixture tree; allow-lists emptied so the
+#: fixtures are "outside" the owning packages.
+FIXTURE_CONFIG = LintConfig(
+    determinism_modules=("*/lint_fixtures/*",),
+    deterministic_modules=("*/lint_fixtures/*",),
+    deterministic_exempt=(),
+    kernel_private_allow=(),
+    signal_handler_allow=(),
+    fork_shared_modules=("*/lint_fixtures/*",),
+    durable_write_modules=("*/lint_fixtures/*",),
+)
+
+RULES = ["RPL001", "RPL002", "RPL003", "RPL004",
+         "RPL005", "RPL006", "RPL007", "RPL008"]
+
+
+def _lint_fixture(name, code):
+    cfg = dataclasses.replace(FIXTURE_CONFIG, select=frozenset({code}))
+    return lint_paths([os.path.join(FIXTURES, name)], cfg)
+
+
+def test_all_rules_registered():
+    assert rule_codes() == RULES
+    for rule in all_rules():
+        assert rule.name and rule.summary and rule.rationale
+
+
+@pytest.mark.parametrize("code", RULES)
+def test_bad_fixture_fires(code):
+    report = _lint_fixture("%s_bad.py" % code.lower(), code)
+    assert report.findings, "%s stayed silent on its bad fixture" % code
+    assert all(f.rule == code for f in report.findings)
+    assert report.exit_code() == 1
+
+
+@pytest.mark.parametrize("code", RULES)
+def test_good_fixture_silent(code):
+    report = _lint_fixture("%s_good.py" % code.lower(), code)
+    assert report.findings == [], "%s fired on its good fixture" % code
+    assert report.exit_code() == 0
+
+
+def test_rpl001_reference_counts_as_handling():
+    # A broad handler that *reads* the contract exception name is
+    # classifying it, not swallowing it.
+    src = (
+        "def f(run, VerifyError, CheckError, BddBudgetExceeded, log):\n"
+        "    try:\n"
+        "        return run()\n"
+        "    except Exception as exc:\n"
+        "        if isinstance(exc, (VerifyError, CheckError,\n"
+        "                            BddBudgetExceeded)):\n"
+        "            log(exc)\n"
+        "        return None\n")
+    cfg = dataclasses.replace(FIXTURE_CONFIG, select=frozenset({"RPL001"}))
+    assert lint_sources({"x.py": src}, cfg).findings == []
+
+
+def test_rpl002_out_of_scope_module_not_flagged():
+    # The same shape outside determinism scope (and outside any sink
+    # function -- `collect_names` matches no sink fragment) is not the
+    # linter's business.
+    src = ("def collect_names(items):\n"
+           "    names = set(items)\n"
+           "    out = []\n"
+           "    for name in names:\n"
+           "        out.append(name)\n"
+           "    return out\n")
+    cfg = dataclasses.replace(
+        FIXTURE_CONFIG, select=frozenset({"RPL002"}),
+        determinism_modules=("*/somewhere/else/*",))
+    assert lint_sources({"free.py": src}, cfg).findings == []
+
+
+def test_rpl002_sink_function_flagged_anywhere():
+    # A function whose name marks it as a serialization sink is in
+    # scope regardless of which module it lives in.
+    src = ("def cache_key(parts):\n"
+           "    tags = set(parts)\n"
+           "    return ','.join(tags)\n")
+    cfg = dataclasses.replace(
+        FIXTURE_CONFIG, select=frozenset({"RPL002"}),
+        determinism_modules=("*/somewhere/else/*",))
+    report = lint_sources({"free.py": src}, cfg)
+    assert [f.rule for f in report.findings] == ["RPL002"]
+
+
+def test_rpl004_terminal_collect_not_a_safe_point_for_later_code():
+    # A collect immediately followed by `continue` abandons the path;
+    # uses on later lines never execute after it.
+    src = ("def loop(mgr, items, a, b):\n"
+           "    for it in items:\n"
+           "        f = mgr.ite(a, b, b)\n"
+           "        if it:\n"
+           "            mgr.maybe_collect()\n"
+           "            continue\n"
+           "        mgr.use(f)\n")
+    cfg = dataclasses.replace(FIXTURE_CONFIG, select=frozenset({"RPL004"}))
+    assert lint_sources({"x.py": src}, cfg).findings == []
+
+
+def test_rpl007_silent_without_schema():
+    # Bumps alone prove nothing: the project may not define a snapshot.
+    src = "def work(perf):\n    perf.misses += 1\n"
+    cfg = dataclasses.replace(FIXTURE_CONFIG, select=frozenset({"RPL007"}))
+    assert lint_sources({"x.py": src}, cfg).findings == []

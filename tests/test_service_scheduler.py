@@ -37,6 +37,7 @@ def _crash_worker(payload):
 def _stubborn_worker(payload):
     # Defeats the graceful SIGALRM path: only the parent-side terminate
     # backstop can end this job.
+    # repro-lint: disable=RPL006
     signal.signal(signal.SIGALRM, signal.SIG_IGN)
     time.sleep(30)
     return {"status": "ok"}
