@@ -24,8 +24,11 @@ Kernel memory model (see ``docs/PERFORMANCE.md``):
 
 from __future__ import annotations
 
-from typing import (Any, Dict, FrozenSet, Iterable, List, Optional, Sequence,
-                    Tuple)
+from typing import (TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, List,
+                    Optional, Sequence, Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> perf only)
+    from repro.obs.trace import Tracer
 
 #: A computed-table key: a small tuple tagged by operation (see the key
 #: layouts in ``repro.check.bdd_sanitizer``).  Keys are heterogeneous
@@ -211,6 +214,10 @@ class BDD:
         self._autoreorder_method: str = "sift"
         self._reorder_pending = False
         self.perf = PerfCounters()
+        # Optional repro.obs tracer: when set by a flow, kernel safe
+        # points (GC sweeps, autoreorder firings) open sub-spans.  None
+        # keeps the hot path a single attribute test.
+        self.tracer: Optional["Tracer"] = None
 
     # ------------------------------------------------------------------
     # Variables and ordering
@@ -746,6 +753,13 @@ class BDD:
         dead refs).  All refs other than those reachable from the root set
         become invalid.  Returns the number of nodes reclaimed.
         """
+        if self.tracer is not None:
+            with self.tracer.span("bdd.gc",
+                                  live_before=self.num_nodes_live):
+                return self._collect_garbage_impl(extra_roots)
+        return self._collect_garbage_impl(extra_roots)
+
+    def _collect_garbage_impl(self, extra_roots: Sequence[int] = ()) -> int:
         var_arr, lo_arr, hi_arr = self._var, self._lo, self._hi
         n = len(var_arr)
         live = bytearray(n)
@@ -935,8 +949,15 @@ class BDD:
         from repro.bdd.reorder import AUTOREORDER_METHODS
 
         self.perf.autoreorder_triggers += 1
-        AUTOREORDER_METHODS[self._autoreorder_method](
-            self, list(extra_roots))
+        if self.tracer is not None:
+            with self.tracer.span("bdd.autoreorder",
+                                  method=self._autoreorder_method,
+                                  live_before=self.num_nodes_live):
+                AUTOREORDER_METHODS[self._autoreorder_method](
+                    self, list(extra_roots))
+        else:
+            AUTOREORDER_METHODS[self._autoreorder_method](
+                self, list(extra_roots))
         self._autoreorder_threshold = max(threshold,
                                           2 * self.num_nodes_live)
 

@@ -24,7 +24,7 @@ import hashlib
 import json
 import time
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bdd import transfer_many
 from repro.bdd.reorder import sift
@@ -34,6 +34,7 @@ from repro.decomp import extract_sharing, trees_to_network
 from repro.decomp.engine import DecompOptions, DecompStats, decompose
 from repro.network import Network, sweep
 from repro.network.eliminate import PartitionedNetwork
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 from repro.perf import merge_snapshots
 from repro.verify import VERIFY_MODES, require_equivalent
 
@@ -148,6 +149,10 @@ class BDSResult:
     perf: Dict[str, float] = field(default_factory=dict)
     # Outputs the size-capped verifier could not prove (verify="cec"/"full").
     verify_unknown_outputs: List[str] = field(default_factory=list)
+    # Root span of the flow's trace when a Tracer was passed (see
+    # repro.obs.trace and docs/OBSERVABILITY.md); None otherwise.  Count
+    # deltas of the top-level phase spans partition the ``perf`` totals.
+    trace: Optional[Span] = None
 
     def summary(self) -> str:
         s = self.network.stats()
@@ -157,7 +162,8 @@ class BDSResult:
 
 
 def bds_optimize(net: Network, options: Optional[BDSOptions] = None,
-                 cache: Optional[Any] = None) -> BDSResult:
+                 cache: Optional[Any] = None,
+                 tracer: Optional[Tracer] = None) -> BDSResult:
     """Run the full BDS flow on a copy of ``net``.
 
     ``cache`` (a :class:`repro.service.cache.ArtifactCache`) short-circuits
@@ -165,113 +171,164 @@ def bds_optimize(net: Network, options: Optional[BDSOptions] = None,
     and verify verdict are returned without recomputation -- and stores
     the artifact on a miss.  Cache traffic lands in ``BDSResult.perf`` as
     the ``artifact_cache_*`` counters.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) records one span per
+    flow phase plus kernel safe-point and per-supernode sub-spans; the
+    finished root span lands on ``BDSResult.trace``.  Tracing never
+    changes the optimized network.
     """
     opts = options or BDSOptions()
+    tr = tracer if tracer is not None else NULL_TRACER
     if opts.verify not in VERIFY_MODES:
         raise ValueError("verify must be one of %r, got %r"
                          % (VERIFY_MODES, opts.verify))
     cache_key = None
     if cache is not None:
         t0 = time.perf_counter()
-        cache_key = cache.key_for(net, opts)
-        artifact = cache.lookup(cache_key)
+        with tr.span("flow.cache_lookup", circuit=net.name):
+            cache_key = cache.key_for(net, opts)
+            artifact = cache.lookup(cache_key)
         if artifact is not None:
-            return _result_from_artifact(artifact,
-                                         time.perf_counter() - t0)
+            result = _result_from_artifact(artifact,
+                                           time.perf_counter() - t0)
+            if tr.enabled and tr.roots:
+                result.trace = tr.roots[-1]
+            return result
     checker = Checker(opts.check_level)
     timings: Dict[str, float] = {}
     work = net.copy()
 
-    t0 = time.perf_counter()
-    sweep(work, merge_equivalent=opts.sweep_merge_equivalent)
-    checker.check_network(work, "network after initial sweep")
-    timings["sweep"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    part = PartitionedNetwork.from_network(work)
-    if opts.autoreorder:
-        part.mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
-    checker.check_partition(part, "partition after construction")
-    part.eliminate(threshold=opts.eliminate_threshold,
-                   size_cap=opts.eliminate_size_cap,
-                   use_mapping=opts.use_bdd_mapping,
-                   checker=checker)
-    checker.check_partition(part, "partition after eliminate")
-    timings["eliminate"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    if opts.use_sdc:
-        from repro.bds.dontcare import minimize_with_sdc
-
-        minimize_with_sdc(part)
-    timings["sdc"] = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    stats = DecompStats()
-    trees = {}
+    # Perf accounting: every counter source the flow owns is either a
+    # frozen snapshot (append-only ``perf_snaps``) or a live provider in
+    # ``live_sources``.  The tracer's counter source merges both, and a
+    # source only ever *moves* from live to frozen (atomically, between
+    # no span boundary), so the count deltas of the sequential top-level
+    # phase spans telescope to the final ``BDSResult.perf`` totals.
     perf_snaps: List[Dict[str, float]] = []
-    names = sorted(part.refs)
-    if opts.jobs > 1 and len(names) > 1:
-        _decompose_parallel(part, names, opts, stats, trees, perf_snaps)
-    else:
-        for name in names:
-            tree, snap = _decompose_supernode(part, name, opts, stats)
-            trees[name] = tree
-            perf_snaps.append(snap)
-    timings["decompose"] = time.perf_counter() - t0
+    live_sources: List[Callable[[], Dict[str, float]]] = []
 
-    t0 = time.perf_counter()
-    if opts.balance_trees:
-        from repro.decomp.balance import balance_forest
+    def _perf_now() -> Dict[str, float]:
+        return merge_snapshots(perf_snaps + [src() for src in live_sources])
 
-        trees = balance_forest(trees)
-    timings["balance"] = time.perf_counter() - t0
+    if tr.enabled:
+        tr.set_counter_source(_perf_now)
+    live_sources.append(checker.snapshot)
 
-    t0 = time.perf_counter()
-    if opts.sharing:
-        trees = extract_sharing(trees)
-    timings["sharing"] = time.perf_counter() - t0
+    with tr.span("flow", circuit=net.name, jobs=opts.jobs,
+                 verify=opts.verify):
+        with tr.span("flow.sweep"):
+            t0 = time.perf_counter()
+            sweep(work, merge_equivalent=opts.sweep_merge_equivalent)
+            checker.check_network(work, "network after initial sweep")
+            timings["sweep"] = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    gate_net = trees_to_network(trees, inputs=work.inputs,
-                                outputs=work.outputs, name=net.name)
-    # SDC minimization (and in principle any decomposition) can drop a
-    # supernode's dependence on another supernode, stranding that tree;
-    # reachability pruning is a well-formedness requirement of the output
-    # (the lint below enforces it), not part of the optional sweep.
-    gate_net.remove_dangling()
-    if opts.final_sweep:
-        sweep(gate_net, merge_equivalent=False)
-    checker.check_network(gate_net, "network after lowering")
-    timings["lower"] = time.perf_counter() - t0
+        with tr.span("flow.eliminate"):
+            t0 = time.perf_counter()
+            part = PartitionedNetwork.from_network(work)
+            if tr.enabled:
+                part.mgr.tracer = tr
+                # Late-bound through ``part``: compact() retires managers
+                # into part.perf_history and installs a fresh part.mgr.
+                live_sources.append(lambda: part.mgr.perf_snapshot())
+                live_sources.append(
+                    lambda: merge_snapshots(part.perf_history))
+            if opts.autoreorder:
+                part.mgr.enable_autoreorder(opts.autoreorder,
+                                            opts.autoreorder_method)
+            checker.check_partition(part, "partition after construction")
+            part.eliminate(threshold=opts.eliminate_threshold,
+                           size_cap=opts.eliminate_size_cap,
+                           use_mapping=opts.use_bdd_mapping,
+                           checker=checker)
+            checker.check_partition(part, "partition after eliminate")
+            timings["eliminate"] = time.perf_counter() - t0
 
-    verify_unknown: List[str] = []
-    t0 = time.perf_counter()
-    if opts.verify != "off":
-        budget = opts.verify_budget
-        if budget is None:
-            budget = max(0.05, 0.8 * sum(timings.values()))
-        deadline = (None if budget == float("inf")
-                    else time.monotonic() + budget)
-        outcome = require_equivalent(net, gate_net, mode=opts.verify,
-                                     size_cap=opts.verify_size_cap,
-                                     seed=opts.verify_seed,
-                                     deadline=deadline,
-                                     subject="BDS result for %r" % net.name)
-        verify_unknown = outcome.unknown_outputs
-        perf_snaps.append({
-            "verify_outputs_checked": float(outcome.outputs_checked),
-            "verify_unknown": float(len(outcome.unknown_outputs)),
-        })
-        timings["verify"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        if opts.use_sdc:
+            from repro.bds.dontcare import minimize_with_sdc
 
-    perf_snaps.extend(part.perf_history)
-    perf_snaps.append(part.mgr.perf_snapshot())
-    perf_snaps.append(checker.snapshot())
-    result = BDSResult(gate_net, stats, timings, supernodes=len(trees),
-                       mapping_count=part.mapping_count,
-                       perf=merge_snapshots(perf_snaps),
-                       verify_unknown_outputs=verify_unknown)
+            with tr.span("flow.sdc"):
+                minimize_with_sdc(part)
+        timings["sdc"] = time.perf_counter() - t0
+
+        with tr.span("flow.decompose"):
+            t0 = time.perf_counter()
+            stats = DecompStats()
+            trees = {}
+            names = sorted(part.refs)
+            if opts.jobs > 1 and len(names) > 1:
+                _decompose_parallel(part, names, opts, stats, trees,
+                                    perf_snaps, tracer=tr)
+            else:
+                for name in names:
+                    with tr.span("decompose.supernode", supernode=name):
+                        trees[name] = _decompose_supernode(
+                            part, name, opts, stats, tracer=tr,
+                            live_sources=live_sources,
+                            perf_snaps=perf_snaps)
+            timings["decompose"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if opts.balance_trees:
+            from repro.decomp.balance import balance_forest
+
+            with tr.span("flow.balance"):
+                trees = balance_forest(trees)
+        timings["balance"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if opts.sharing:
+            with tr.span("flow.sharing"):
+                trees = extract_sharing(trees)
+        timings["sharing"] = time.perf_counter() - t0
+
+        with tr.span("flow.lower"):
+            t0 = time.perf_counter()
+            gate_net = trees_to_network(trees, inputs=work.inputs,
+                                        outputs=work.outputs, name=net.name)
+            # SDC minimization (and in principle any decomposition) can
+            # drop a supernode's dependence on another supernode,
+            # stranding that tree; reachability pruning is a
+            # well-formedness requirement of the output (the lint below
+            # enforces it), not part of the optional sweep.
+            gate_net.remove_dangling()
+            if opts.final_sweep:
+                sweep(gate_net, merge_equivalent=False)
+            checker.check_network(gate_net, "network after lowering")
+            timings["lower"] = time.perf_counter() - t0
+
+        verify_unknown: List[str] = []
+        t0 = time.perf_counter()
+        if opts.verify != "off":
+            with tr.span("flow.verify", mode=opts.verify):
+                budget = opts.verify_budget
+                if budget is None:
+                    budget = max(0.05, 0.8 * sum(timings.values()))
+                deadline = (None if budget == float("inf")
+                            else time.monotonic() + budget)
+                outcome = require_equivalent(
+                    net, gate_net, mode=opts.verify,
+                    size_cap=opts.verify_size_cap,
+                    seed=opts.verify_seed,
+                    deadline=deadline,
+                    subject="BDS result for %r" % net.name)
+                verify_unknown = outcome.unknown_outputs
+                perf_snaps.append({
+                    "verify_outputs_checked": float(outcome.outputs_checked),
+                    "verify_unknown": float(len(outcome.unknown_outputs)),
+                })
+                timings["verify"] = time.perf_counter() - t0
+
+        if not tr.enabled:
+            # The traced path registered these as live sources up front.
+            perf_snaps.extend(part.perf_history)
+            perf_snaps.append(part.mgr.perf_snapshot())
+        result = BDSResult(gate_net, stats, timings, supernodes=len(trees),
+                           mapping_count=part.mapping_count,
+                           perf=_perf_now(),
+                           verify_unknown_outputs=verify_unknown)
+    if tr.enabled and tr.roots:
+        result.trace = tr.roots[-1]
     if cache is not None and cache_key is not None:
         # Store the artifact *without* cache-traffic counters (they
         # describe this call, not the artifact), then report the miss.
@@ -299,60 +356,96 @@ def _result_from_artifact(artifact: Any, lookup_time: float) -> BDSResult:
 
 
 def _decompose_supernode(part: PartitionedNetwork, name: str,
-                         opts: BDSOptions, stats: DecompStats):
-    """Reorder and decompose one supernode in a private manager."""
+                         opts: BDSOptions, stats: DecompStats,
+                         tracer: Tracer = NULL_TRACER,
+                         live_sources: Optional[
+                             List[Callable[[], Dict[str, float]]]] = None,
+                         perf_snaps: Optional[
+                             List[Dict[str, float]]] = None):
+    """Reorder and decompose one supernode in a private manager.
+
+    When traced, the private manager is registered as a live counter
+    source for its lifetime (so kernel safe-point spans inside it see
+    real deltas), then atomically retired to a frozen snapshot -- no
+    span boundary may fall between the two, or phase deltas stop
+    telescoping to the flow totals.
+    """
     ref = part.refs[name]
     result = transfer_many(part.mgr, [ref])
     mgr, local = result.manager, result.refs[0]
-    if opts.autoreorder:
-        mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
-    if opts.reorder and not mgr.is_const(local):
-        sift(mgr, [local], size_limit=opts.sift_size_limit)
-    tree = decompose(mgr, local, options=opts.decomp, stats=stats)
-    if opts.check_level != "off":
-        # Decomposition-merge safe point: the supernode's private manager
-        # must still be canonical after reordering + decomposition.
-        sanitize_bdd(mgr, level=opts.check_level,
-                     subject="supernode %r manager after decompose" % name)
-    return tree.map_vars(mgr.var_name), mgr.perf_snapshot()
+    if tracer.enabled:
+        mgr.tracer = tracer
+    if live_sources is not None:
+        live_sources.append(mgr.perf_snapshot)
+    try:
+        if opts.autoreorder:
+            mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
+        if opts.reorder and not mgr.is_const(local):
+            sift(mgr, [local], size_limit=opts.sift_size_limit)
+        tree = decompose(mgr, local, options=opts.decomp, stats=stats)
+        if opts.check_level != "off":
+            # Decomposition-merge safe point: the supernode's private
+            # manager must still be canonical after reorder + decompose.
+            sanitize_bdd(mgr, level=opts.check_level,
+                         subject="supernode %r manager after decompose" % name)
+    finally:
+        snap = mgr.perf_snapshot()
+        if live_sources is not None:
+            live_sources.remove(mgr.perf_snapshot)
+        if perf_snaps is not None:
+            perf_snaps.append(snap)
+    return tree.map_vars(mgr.var_name)
 
 
-def _decompose_worker(payload: Tuple[str, str, BDSOptions]):
+def _decompose_worker(payload: Tuple[str, str, BDSOptions, bool]):
     """Process-pool entry point: rebuild one supernode BDD from its
     serialized form, reorder, decompose, and ship the name-mapped tree
-    back with the worker's stats and kernel counters."""
-    name, text, opts = payload
+    back with the worker's stats, kernel counters and (when tracing)
+    its serialized span tree -- a forked child cannot share the parent
+    tracer, so spans travel back through the result channel."""
+    name, text, opts, trace_enabled = payload
     mgr, roots = bdd_loads(text)
     local = roots[0]
     stats = DecompStats()
-    if opts.autoreorder:
-        mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
-    if opts.reorder and not mgr.is_const(local):
-        sift(mgr, [local], size_limit=opts.sift_size_limit)
-    tree = decompose(mgr, local, options=opts.decomp, stats=stats)
-    if opts.check_level != "off":
-        sanitize_bdd(mgr, level=opts.check_level,
-                     subject="supernode %r manager after decompose" % name)
-    return name, tree.map_vars(mgr.var_name), stats.as_dict(), mgr.perf_snapshot()
+    tracer = Tracer(counter_source=mgr.perf_snapshot) \
+        if trace_enabled else NULL_TRACER
+    if tracer.enabled:
+        mgr.tracer = tracer
+    with tracer.span("decompose.supernode", supernode=name, worker=True):
+        if opts.autoreorder:
+            mgr.enable_autoreorder(opts.autoreorder, opts.autoreorder_method)
+        if opts.reorder and not mgr.is_const(local):
+            sift(mgr, [local], size_limit=opts.sift_size_limit)
+        tree = decompose(mgr, local, options=opts.decomp, stats=stats)
+        if opts.check_level != "off":
+            sanitize_bdd(mgr, level=opts.check_level,
+                         subject="supernode %r manager after decompose" % name)
+    return (name, tree.map_vars(mgr.var_name), stats.as_dict(),
+            mgr.perf_snapshot(), tracer.export_spans())
 
 
 def _decompose_parallel(part: PartitionedNetwork, names: List[str],
                         opts: BDSOptions, stats: DecompStats,
                         trees: Dict[str, object],
-                        perf_snaps: List[Dict[str, float]]) -> None:
+                        perf_snaps: List[Dict[str, float]],
+                        tracer: Tracer = NULL_TRACER) -> None:
     """Fan supernodes out over a process pool (opts.jobs workers).
 
     Supernodes own independent BDDs after eliminate, so each worker gets
     one serialized BDD and returns one factoring tree; results are merged
     in sorted-name order, keeping the flow's output deterministic.
+    Worker span trees are grafted under the caller's open span.
     """
     from concurrent.futures import ProcessPoolExecutor
 
-    payloads = [(name, bdd_dumps(part.mgr, [part.refs[name]]), opts)
+    payloads = [(name, bdd_dumps(part.mgr, [part.refs[name]]), opts,
+                 tracer.enabled)
                 for name in names]
     with ProcessPoolExecutor(max_workers=opts.jobs) as pool:
-        for name, tree, stats_dict, snap in pool.map(_decompose_worker,
-                                                     payloads):
+        for name, tree, stats_dict, snap, spans in pool.map(
+                _decompose_worker, payloads):
             trees[name] = tree
             stats.merge(stats_dict)
             perf_snaps.append(snap)
+            if spans:
+                tracer.graft(spans)

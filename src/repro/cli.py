@@ -4,7 +4,7 @@ Mirrors how BDS itself was used as a tool::
 
     python -m repro.cli optimize input.blif -o output.blif [--flow bds|sis]
         [--verify [sim|cec|full]] [--map | --lut K] [--balance] [--stats]
-        [--check LEVEL] [--autoreorder N]
+        [--check LEVEL] [--autoreorder N] [--jobs J] [--trace FILE]
     python -m repro.cli generate bshift32 -o bshift32.blif
     python -m repro.cli verify a.blif b.blif [--mode sim|cec|full]
     python -m repro.cli check input.blif [--level cheap|full]
@@ -15,10 +15,13 @@ Mirrors how BDS itself was used as a tool::
     python -m repro.cli batch <dir-or-files...> [--cache-dir DIR]
         [--jobs J] [--timeout S] [--out-dir DIR] [--json]
     python -m repro.cli serve [--cache-dir DIR] [--jobs J] [--timeout S]
+    python -m repro.cli bench [circuits...] [--out FILE]
+        [--compare BASELINE] [--cpu-tol T]
 
 Exit codes: 0 clean; 1 failure (verification mismatch, lint violation,
-fuzz find, failed/timed-out batch job); 2 inconclusive (outputs the
-size-capped verifier could not prove) or parse error for ``check``.
+fuzz find, failed/timed-out batch job, bench regression); 2 inconclusive
+(outputs the size-capped verifier could not prove, bench baselines not
+comparable) or parse error for ``check``.
 """
 
 from __future__ import annotations
@@ -50,14 +53,23 @@ def _cmd_optimize(args) -> int:
         from repro.service import ArtifactCache
 
         cache = ArtifactCache(args.cache_dir)
+    tracer = None
+    if getattr(args, "trace", None):
+        if args.flow != "bds":
+            print("--trace requires --flow bds", file=sys.stderr)
+            return 1
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     t0 = time.perf_counter()
     if args.flow == "bds":
         options = BDSOptions(balance_trees=args.balance,
                              check_level=args.check,
                              autoreorder=args.autoreorder,
+                             jobs=getattr(args, "jobs", 1),
                              verify=verify_mode)
         try:
-            result = bds_optimize(net, options, cache=cache)
+            result = bds_optimize(net, options, cache=cache, tracer=tracer)
         except VerifyError as exc:
             print("VERIFICATION FAILED (%s) at output %s, e.g. %r"
                   % (exc.mode, exc.failing_output, exc.counterexample),
@@ -80,6 +92,12 @@ def _cmd_optimize(args) -> int:
                 return 1
             unknown = outcome.unknown_outputs
     cpu = time.perf_counter() - t0
+    if tracer is not None:
+        with open(args.trace, "w") as fh:
+            json.dump(tracer.to_chrome(), fh, sort_keys=True)
+        print("trace: %d span(s) -> %s (chrome://tracing / ui.perfetto.dev)"
+              % (len(tracer.to_chrome()["traceEvents"]), args.trace),
+              file=sys.stderr)
     if args.stats:
         print("in: %s" % net.stats(), file=sys.stderr)
         print("out: %s  (%.2fs)" % (optimized.stats(), cpu), file=sys.stderr)
@@ -324,6 +342,42 @@ def _cmd_lint(args) -> int:
     return report.exit_code()
 
 
+def _cmd_bench(args) -> int:
+    """Run the standard flow bench set; optionally diff a baseline.
+
+    ``--compare BASELINE`` turns the run into a regression gate: exit 0
+    within tolerances, 1 on a regression (CPU beyond ``--cpu-tol``, or
+    any node/literal drift), 2 when the runs are not comparable (missing
+    circuits, broken counters).  Without ``--compare`` the payload is
+    written/printed and the exit is 0.
+    """
+    from repro.obs.regress import (DEFAULT_BENCH_CIRCUITS,
+                                   collect_flow_payload, compare_payloads,
+                                   load_baseline)
+
+    circuits = tuple(args.circuits) if args.circuits \
+        else DEFAULT_BENCH_CIRCUITS
+    payload = collect_flow_payload(circuits)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("bench: wrote %d circuit(s) to %s"
+              % (len(payload["circuits"]), args.out), file=sys.stderr)
+    if args.compare is None:
+        if not args.out:
+            print(json.dumps(payload, sort_keys=True))
+        return 0
+    try:
+        baseline = load_baseline(args.compare)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print("bench: cannot load baseline: %s" % exc, file=sys.stderr)
+        return 2
+    report = compare_payloads(baseline, payload, cpu_tol=args.cpu_tol)
+    print(report.render())
+    return report.exit_code()
+
+
 def _cmd_check(args) -> int:
     """Lint a BLIF netlist; exit 1 on violations, 2 on parse errors."""
     with open(args.input) as fh:
@@ -376,6 +430,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--autoreorder", type=int, default=0, metavar="N",
                        help="fire dynamic variable reordering when a "
                             "manager grows past N live nodes (0 = off)")
+    p_opt.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for per-supernode "
+                            "decomposition (default 1; deterministic "
+                            "either way)")
+    p_opt.add_argument("--trace", metavar="FILE",
+                       help="record a span trace of the flow and write it "
+                            "as Chrome trace_event JSON (load in "
+                            "chrome://tracing or ui.perfetto.dev)")
     p_opt.add_argument("--json", action="store_true",
                        help="print the run's perf counters (incl. "
                             "artifact-cache traffic) as one JSON object "
@@ -471,6 +533,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_bat.add_argument("--json", action="store_true",
                        help="print one JSON summary object on stdout")
     p_bat.set_defaults(func=_cmd_batch)
+
+    p_ben = sub.add_parser("bench", help="run the flow bench set; "
+                                         "--compare gates on a baseline")
+    p_ben.add_argument("circuits", nargs="*",
+                       help="circuits to bench (default: the standard "
+                            "set, see repro.obs.regress)")
+    p_ben.add_argument("--out", metavar="FILE",
+                       help="write the fresh payload as JSON (the "
+                            "BENCH_flow.json format)")
+    p_ben.add_argument("--compare", metavar="BASELINE",
+                       help="diff against a baseline payload or a "
+                            "BENCH_all.json aggregate; exit 0/1/2")
+    p_ben.add_argument("--cpu-tol", type=float, default=0.25,
+                       help="relative CPU tolerance for --compare "
+                            "(default 0.25; node/literal counts are "
+                            "always exact)")
+    p_ben.set_defaults(func=_cmd_bench)
 
     p_srv = sub.add_parser("serve", help="JSON-lines optimization daemon "
                                          "on stdin/stdout")

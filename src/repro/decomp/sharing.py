@@ -207,7 +207,10 @@ def _order_trees(trees: Dict[str, FTree], inputs: Set[str]) -> List[str]:
         if state.get(n) == 1:
             raise ValueError("cyclic dependency among factoring trees at %r" % n)
         state[n] = 1
-        for d in deps[n]:
+        # deps values are string sets: unsorted iteration here would make
+        # the emission order (and the g_N gensym numbering) hash-seed
+        # dependent -- caught by the golden-digest tests.
+        for d in sorted(deps[n]):
             visit(d)
         state[n] = 2
         order.append(n)

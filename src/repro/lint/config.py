@@ -108,6 +108,15 @@ class LintConfig:
     #: Modules whose module-level state is shared with forked workers.
     fork_shared_modules: Tuple[str, ...] = ("*/repro/service/*",)
 
+    # -- RPL009: tracer spans must be opened with ``with`` -------------
+    #: Receiver name tails treated as tracers (keeps e.g. the unrelated
+    #: ``re.Match.span()`` out of scope).
+    tracer_receivers: Tuple[str, ...] = ("trace", "tracer", "_tracer", "tr")
+    #: Files allowed to call ``begin``/``end`` directly: the tracer
+    #: implementation itself and its white-box tests.
+    trace_internal_allow: Tuple[str, ...] = ("*/repro/obs/trace.py",
+                                             "*/tests/test_obs_*.py")
+
     # -- RPL008: atomic writes under durable directories ---------------
     #: Modules that write into cache / corpus directories, where a torn
     #: write must never be observable.

@@ -9,4 +9,5 @@ from repro.lint.rules import determinism  # noqa: F401
 from repro.lint.rules import exceptions  # noqa: F401
 from repro.lint.rules import forksafety  # noqa: F401
 from repro.lint.rules import kernel  # noqa: F401
+from repro.lint.rules import obs  # noqa: F401
 from repro.lint.rules import perf_schema  # noqa: F401

@@ -1,0 +1,91 @@
+"""RPL009: tracer spans must be opened with ``with``.
+
+:meth:`repro.obs.trace.Tracer.span` returns a context manager; calling
+it without entering it records nothing (the span only starts in
+``__enter__``), and driving ``begin``/``end`` by hand leaks an open
+frame on any exception path between them -- every later span then nests
+under the leaked one and the exported tree is silently wrong.  The
+``with`` statement is the only shape that is exception-safe *and*
+guarantees the counter-delta bookkeeping balances.
+
+The rule fires on two shapes, for receivers that look like tracers
+(``config.tracer_receivers``; the name-tail heuristic keeps
+``re.match(...).span()`` and friends out):
+
+* a ``.span(...)`` call that is not the context expression of a
+  ``with`` item;
+* any ``.begin(...)`` / ``.end(...)`` call (manual span management).
+
+``repro.obs.trace`` itself (where ``begin``/``end`` live) and its tests
+are exempt via ``config.trace_internal_allow``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import LintConfig, match_any
+from repro.lint.finding import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.runner import SourceModule
+
+
+def _receiver_tail(func: ast.Attribute) -> Optional[str]:
+    """The last name of the receiver: ``tr`` for ``tr.span``, ``tracer``
+    for ``self.mgr.tracer.span``; None for non-name receivers."""
+    owner = func.value
+    if isinstance(owner, ast.Name):
+        return owner.id
+    if isinstance(owner, ast.Attribute):
+        return owner.attr
+    return None
+
+
+@register
+class SpanWithRule(Rule):
+    code = "RPL009"
+    name = "span-without-with"
+    summary = ("tracer span opened without 'with' (or via manual "
+               "begin/end)")
+    rationale = ("Tracer.span only starts in __enter__, so a bare call "
+                 "records nothing; manual begin/end leaks an open span "
+                 "frame on any exception path and corrupts the exported "
+                 "tree")
+
+    def check(self, module: SourceModule,
+              config: LintConfig) -> Iterator[Finding]:
+        if match_any(module.path, config.trace_internal_allow):
+            return
+        with_contexts = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) \
+                    or not isinstance(node.func, ast.Attribute):
+                continue
+            receiver = _receiver_tail(node.func)
+            if receiver is None or receiver not in config.tracer_receivers:
+                continue
+            method = node.func.attr
+            if method == "span" and id(node) not in with_contexts:
+                yield self.finding(
+                    module, node,
+                    "span %r on tracer %r is not entered with 'with'; the "
+                    "span only starts in __enter__, so this records "
+                    "nothing" % (_span_label(node), receiver))
+            elif method in ("begin", "end"):
+                yield self.finding(
+                    module, node,
+                    "manual %s() on tracer %r leaks an open span frame on "
+                    "any exception path; open spans with "
+                    "'with %s.span(...)'" % (method, receiver, receiver))
+
+
+def _span_label(call: ast.Call) -> str:
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and isinstance(call.args[0].value, str):
+        return call.args[0].value
+    return "<dynamic>"

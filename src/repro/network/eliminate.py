@@ -320,6 +320,10 @@ class PartitionedNetwork:
         # transfer_many drops variables with no nodes; re-add missing node
         # variables (a node whose BDD is constant may still be referenced).
         new_mgr = result.manager
+        # The retired manager's counters just moved into perf_history (a
+        # frozen snapshot); the tracer follows to the fresh manager so GC
+        # safe-point spans keep firing after a BDD mapping.
+        new_mgr.tracer = self.mgr.tracer
         self.refs = dict(zip(names, result.refs))
         self.sig_var = {}
         for sig in [*self.inputs, *names]:

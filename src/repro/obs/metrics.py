@@ -1,0 +1,216 @@
+"""Process-wide service metrics: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` per process (:func:`get_registry`), updated
+*parent-side only*: forked workers ship their numbers back through the
+scheduler's result channel as perf snapshots / span trees, so nothing
+here needs to survive a fork (child-side increments would be silently
+lost -- which is why no repro.service worker code touches the registry).
+
+Determinism contract: metrics record *facts about a run* (request
+counts, queue depths, job latencies) and are never part of a cache key
+or serialized artifact; :meth:`MetricsRegistry.reset` restores a clean
+slate so tests can assert exact values.  Rendering is deterministic:
+keys sort lexicographically, labels sort by name.
+
+Two export shapes:
+
+* :meth:`MetricsRegistry.as_dict` -- the JSON object embedded in the
+  ``repro serve`` ``{"cmd": "stats"}`` response;
+* :meth:`MetricsRegistry.render_prometheus` -- a Prometheus-style text
+  dump (``{"cmd": "metrics"}``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+MetricValue = Union[int, float]
+
+#: Default histogram bucket upper bounds (seconds-flavoured).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+
+def _label_key(labels: Mapping[str, str]) -> str:
+    """Deterministic ``{a="x",b="y"}`` suffix (empty for no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join('%s="%s"' % (k, labels[k]) for k in sorted(labels))
+    return "{%s}" % inner
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up (got %r)" % amount)
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (queue depth, live workers)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 = +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative count)`` rows ending with ``+Inf``."""
+        rows: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            rows.append((repr(bound), running))
+        rows.append(("+Inf", self.count))
+        return rows
+
+
+class MetricsRegistry:
+    """Name -> metric map with explicit reset (see module doc)."""
+
+    def __init__(self, prefix: str = "repro_") -> None:
+        self.prefix = prefix
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._histogram_base: Dict[str, str] = {}
+
+    # -- access (create on first use) ----------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = name + _label_key(labels)
+        if key not in self._counters:
+            self._counters[key] = Counter()
+        return self._counters[key]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = name + _label_key(labels)
+        if key not in self._gauges:
+            self._gauges[key] = Gauge()
+        return self._gauges[key]
+
+    def histogram(self, name: str,
+                  buckets: Optional[Tuple[float, ...]] = None,
+                  **labels: str) -> Histogram:
+        key = name + _label_key(labels)
+        if key not in self._histograms:
+            self._histograms[key] = Histogram(buckets or DEFAULT_BUCKETS)
+            self._histogram_base[key] = name
+        return self._histograms[key]
+
+    # -- reads ----------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        metric = self._counters.get(name + _label_key(labels))
+        return metric.value if metric is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: str) -> float:
+        metric = self._gauges.get(name + _label_key(labels))
+        return metric.value if metric is not None else 0.0
+
+    def reset(self) -> None:
+        """Forget every metric (tests / fresh service epochs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._histogram_base.clear()
+
+    # -- export ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON object (the ``stats`` wire shape)."""
+        return {
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value
+                       for k in sorted(self._gauges)},
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "sum": round(h.sum, 9),
+                    "buckets": {le: n for le, n in h.cumulative()},
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (one final newline, sorted names)."""
+        lines: List[str] = []
+        for key in sorted(self._counters):
+            lines.append("# TYPE %s%s counter" % (self.prefix, _base(key)))
+            lines.append("%s%s %g" % (self.prefix, key,
+                                      self._counters[key].value))
+        for key in sorted(self._gauges):
+            lines.append("# TYPE %s%s gauge" % (self.prefix, _base(key)))
+            lines.append("%s%s %g" % (self.prefix, key,
+                                      self._gauges[key].value))
+        for key in sorted(self._histograms):
+            hist = self._histograms[key]
+            base = self.prefix + self._histogram_base[key]
+            labels = key[len(self._histogram_base[key]):]
+            lines.append("# TYPE %s histogram" % base)
+            for le, n in hist.cumulative():
+                lines.append('%s_bucket%s %d'
+                             % (base, _merge_labels(labels, le), n))
+            lines.append("%s_sum%s %g" % (base, labels, hist.sum))
+            lines.append("%s_count%s %d" % (base, labels, hist.count))
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def _base(key: str) -> str:
+    """Metric name with any label suffix stripped."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+def _merge_labels(labels: str, le: str) -> str:
+    """Fold ``le="..."`` into an existing (possibly empty) label set."""
+    if not labels:
+        return '{le="%s"}' % le
+    return '%s,le="%s"}' % (labels[:-1], le)
+
+
+#: The process-wide registry (see module doc for the fork contract).
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

@@ -61,10 +61,35 @@ class PerfCounters:
 
 #: Snapshot keys that are high-water marks (merged with ``max``); every
 #: other numeric key is a count and merges with ``+``.
-_PEAK_KEYS = frozenset({"peak_live_nodes", "peak_allocated_nodes"})
+PEAK_KEYS = frozenset({"peak_live_nodes", "peak_allocated_nodes"})
 
 #: Derived keys recomputed after merging rather than summed.
-_DERIVED_KEYS = frozenset({"cache_hit_rate", "unique_live_ratio"})
+DERIVED_KEYS = frozenset({"cache_hit_rate", "unique_live_ratio"})
+
+# Backwards-compatible aliases (pre-obs internal names).
+_PEAK_KEYS = PEAK_KEYS
+_DERIVED_KEYS = DERIVED_KEYS
+
+
+def counter_delta(before: Dict[str, float],
+                  after: Dict[str, float]) -> Dict[str, float]:
+    """Count-key increments between two snapshots of one counter source.
+
+    Only count-type keys appear: peaks (max-merged) and derived ratios do
+    not telescope, so attributing their "delta" to a time window would be
+    meaningless.  Because counts merge with ``+`` and never decrease,
+    consecutive deltas over a partition of a timeline sum to the totals
+    -- the invariant ``repro.obs.trace`` spans rely on.  Zero deltas are
+    dropped; keys are emitted in sorted order for stable serialization.
+    """
+    delta: Dict[str, float] = {}
+    for key in sorted(after):
+        if key in PEAK_KEYS or key in DERIVED_KEYS:
+            continue
+        diff = after[key] - before.get(key, 0)
+        if diff:
+            delta[key] = diff
+    return delta
 
 
 def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:

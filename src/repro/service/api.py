@@ -28,9 +28,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, IO, List, Optional
 
 from repro.bds.flow import BDSOptions
+from repro.obs.metrics import get_registry
 from repro.perf import merge_snapshots
 from repro.service.cache import Artifact, ArtifactCache
 from repro.service.scheduler import JobResult, OptimizationScheduler
+
+#: Job statuses the stats response enumerates (stable wire shape: every
+#: status appears, zero or not).
+JOB_STATUSES = ("ok", "failed", "timeout", "cancelled")
 
 
 @dataclass
@@ -41,6 +46,10 @@ class ServiceRequest:
     options: BDSOptions = field(default_factory=BDSOptions)
     name: str = ""
     timeout: Optional[float] = None
+    #: Run the job under a worker-local tracer and return its span trees
+    #: (JSON dicts) on the response.  Tracing never affects the cache:
+    #: hits skip the flow entirely and carry no trace.
+    trace: bool = False
 
 
 @dataclass
@@ -56,6 +65,8 @@ class ServiceResponse:
     verify_unknown_outputs: List[str] = field(default_factory=list)
     error: Optional[str] = None
     elapsed: float = 0.0
+    #: Span trees from the worker's tracer (requests with ``trace=True``).
+    trace: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ok(self) -> bool:
@@ -75,6 +86,8 @@ class ServiceResponse:
             obj["blif"] = self.blif
         if self.error is not None:
             obj["error"] = self.error
+        if self.trace is not None:
+            obj["trace"] = self.trace
         return obj
 
 
@@ -91,6 +104,9 @@ class OptimizationService:
         self.queue_cap = queue_cap
         self.default_timeout = default_timeout
         self._scheduler_factory = scheduler_factory
+        # Kernel counters aggregated over every response this service
+        # produced (hits and misses alike); reported by the stats command.
+        self._kernel: Dict[str, float] = {}
 
     # -- core ----------------------------------------------------------
 
@@ -117,9 +133,14 @@ class OptimizationService:
             with self._scheduler_factory(
                     max_workers=self.max_workers, queue_cap=self.queue_cap,
                     default_timeout=self.default_timeout) as sched:
-                payloads = [{"blif": requests[i].blif,
-                             "options": requests[i].options.to_dict()}
-                            for i in misses]
+                payloads: List[Dict[str, Any]] = []
+                for i in misses:
+                    payload: Dict[str, Any] = {
+                        "blif": requests[i].blif,
+                        "options": requests[i].options.to_dict()}
+                    if requests[i].trace:
+                        payload["trace"] = True
+                    payloads.append(payload)
                 for i, payload in zip(misses, payloads):
                     while sched.outstanding >= sched.queue_cap:
                         sched.poll()
@@ -127,7 +148,15 @@ class OptimizationService:
                 results = sched.wait()
             for i, job in zip(misses, results):
                 responses[i] = self._miss_response(requests[i], keys[i], job)
-        return [r for r in responses if r is not None]
+        final = [r for r in responses if r is not None]
+        self._kernel = merge_snapshots([self._kernel]
+                                       + [r.perf for r in final if r.perf])
+        registry = get_registry()
+        for resp in final:
+            registry.counter("service_requests_total",
+                             status=resp.status,
+                             cached=str(resp.cached).lower()).inc()
+        return final
 
     def optimize_one(self, request: ServiceRequest) -> ServiceResponse:
         return self.process([request])[0]
@@ -138,7 +167,8 @@ class OptimizationService:
         """Serve requests line by line until EOF or a shutdown command.
 
         Request lines: ``{"blif": ..., "options": {...}, "id": ...,
-        "timeout": ...}`` or ``{"cmd": "stats"}`` / ``{"cmd": "shutdown"}``.
+        "timeout": ..., "trace": ...}`` or ``{"cmd": "stats"}`` /
+        ``{"cmd": "metrics"}`` / ``{"cmd": "shutdown"}``.
         Every line gets exactly one JSON response line; malformed lines
         get ``{"status": "failed", ...}`` rather than killing the daemon.
         """
@@ -160,17 +190,20 @@ class OptimizationService:
                 self._emit(stdout, {"status": "ok", "served": served})
                 break
             if cmd == "stats":
-                snap = (self.cache.perf_snapshot()
-                        if self.cache is not None else {})
-                self._emit(stdout, {"status": "ok", "served": served,
-                                    "cache": snap})
+                self._emit(stdout, self.stats(served))
+                continue
+            if cmd == "metrics":
+                self._emit(stdout, {
+                    "status": "ok", "format": "prometheus",
+                    "text": get_registry().render_prometheus()})
                 continue
             try:
                 req = ServiceRequest(
                     blif=obj["blif"],
                     options=BDSOptions.from_dict(obj.get("options") or {}),
                     name=str(obj.get("id", served)),
-                    timeout=obj.get("timeout", self.default_timeout))
+                    timeout=obj.get("timeout", self.default_timeout),
+                    trace=bool(obj.get("trace", False)))
             except (KeyError, TypeError, ValueError) as exc:
                 self._emit(stdout, {"status": "failed",
                                     "error": "bad request: %s" % exc})
@@ -179,6 +212,32 @@ class OptimizationService:
             self._emit(stdout, dict(resp.to_json_obj(), id=req.name))
             served += 1
         return served
+
+    def stats(self, served: int = 0) -> Dict[str, Any]:
+        """The full ``{"cmd": "stats"}`` response object.
+
+        Beyond the artifact-cache counters this folds in the scheduler's
+        queue state, the kernel counters aggregated over every response
+        served, and the raw process metrics registry -- one stats line
+        answers "is the service healthy" without a second command.
+        """
+        registry = get_registry()
+        return {
+            "status": "ok",
+            "served": served,
+            "cache": (self.cache.perf_snapshot()
+                      if self.cache is not None else {}),
+            "scheduler": {
+                "queue_depth": registry.gauge_value("scheduler_queue_depth"),
+                "running": registry.gauge_value("scheduler_running"),
+                "jobs_total": {
+                    status: registry.counter_value("scheduler_jobs_total",
+                                                   status=status)
+                    for status in JOB_STATUSES},
+            },
+            "kernel": {k: self._kernel[k] for k in sorted(self._kernel)},
+            "metrics": registry.as_dict(),
+        }
 
     # -- internals -----------------------------------------------------
 
@@ -220,4 +279,4 @@ class OptimizationService:
             req.name, "ok", cached=False, blif=artifact.network_blif,
             perf=perf, verify_mode=artifact.verify_mode,
             verify_unknown_outputs=list(artifact.verify_unknown_outputs),
-            elapsed=job.elapsed)
+            elapsed=job.elapsed, trace=value.get("trace"))

@@ -39,6 +39,7 @@ import multiprocessing as mp
 
 from repro.bdd.manager import BddBudgetExceeded
 from repro.check import CheckError
+from repro.obs.metrics import get_registry
 from repro.verify import VerifyError
 
 #: Seconds past a job's deadline before the parent terminates the worker
@@ -74,21 +75,26 @@ def optimize_job_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     ``payload["options"]`` is a :meth:`BDSOptions.to_dict` snapshot (so
     payloads stay JSON-able end to end, matching the ``repro serve``
     wire format).  A verification mismatch is a job *failure*, not a
-    crash.
+    crash.  ``payload["trace"]`` (truthy) runs the flow under a local
+    :class:`repro.obs.trace.Tracer` and ships the finished span trees
+    back in ``"trace"`` -- the worker runs in a forked process, so spans
+    must travel through the result channel, never a shared tracer.
     """
     from repro.bds.flow import BDSOptions, bds_optimize
     from repro.network.blif import parse_blif, write_blif
+    from repro.obs.trace import Tracer
     from repro.verify import VerifyError
 
     options = BDSOptions.from_dict(payload.get("options") or {})
     net = parse_blif(payload["blif"])
+    tracer = Tracer() if payload.get("trace") else None
     try:
-        result = bds_optimize(net, options)
+        result = bds_optimize(net, options, tracer=tracer)
     except VerifyError as exc:
         return {"status": "failed",
                 "error": "verification failed (%s) at output %s"
                          % (exc.mode, exc.failing_output)}
-    return {
+    out = {
         "status": "ok",
         "blif": write_blif(result.network),
         "perf": result.perf,
@@ -99,6 +105,9 @@ def optimize_job_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         "verify_mode": options.verify,
         "verify_unknown_outputs": list(result.verify_unknown_outputs),
     }
+    if tracer is not None:
+        out["trace"] = tracer.export_spans()
+    return out
 
 
 def _child_main(conn: Any, worker: Callable[[Dict[str, Any]], Dict[str, Any]],
@@ -172,6 +181,21 @@ class OptimizationScheduler:
         self._pending: Deque[_Pending] = deque()
         self._running: Dict[int, _Running] = {}
         self._done: Dict[int, JobResult] = {}
+        # Parent-side only: workers report through the result channel,
+        # never the registry (forked increments would be lost silently).
+        self._metrics = get_registry()
+
+    def _sync_gauges(self) -> None:
+        self._metrics.gauge("scheduler_queue_depth").set(len(self._pending))
+        self._metrics.gauge("scheduler_running").set(len(self._running))
+
+    def _account(self, result: JobResult) -> None:
+        """Record one finished job in the process metrics registry."""
+        self._metrics.counter("scheduler_jobs_total",
+                              status=result.status).inc()
+        self._metrics.histogram("scheduler_job_seconds").observe(
+            result.elapsed)
+        self._sync_gauges()
 
     # -- public API ----------------------------------------------------
 
@@ -199,6 +223,7 @@ class OptimizationScheduler:
                 del self._pending[i]
                 self._done[job_id] = JobResult(job_id, "cancelled",
                                                error="cancelled while queued")
+                self._account(self._done[job_id])
                 return True
         if job_id in self._running:
             self._kill(job_id, "cancelled", "cancelled while running")
@@ -248,6 +273,7 @@ class OptimizationScheduler:
             job = self._pending.popleft()
             self._done[job.job_id] = JobResult(job.job_id, "cancelled",
                                                error="scheduler shutdown")
+            self._account(self._done[job.job_id])
         for job_id in list(self._running):
             self._kill(job_id, "cancelled", "scheduler shutdown")
 
@@ -298,6 +324,7 @@ class OptimizationScheduler:
                            "terminated %.1fs past deadline" % self.grace)
         while self._pending and len(self._running) < self.max_workers:
             self._start(self._pending.popleft())
+        self._sync_gauges()
 
     def _finish(self, job_id: int, msg: Optional[Dict[str, Any]]) -> None:
         run = self._running.pop(job_id)
@@ -317,6 +344,7 @@ class OptimizationScheduler:
             self._done[job_id] = JobResult(job_id, status, value=msg,
                                            error=msg.get("error"),
                                            elapsed=elapsed)
+        self._account(self._done[job_id])
 
     def _kill(self, job_id: int, status: str,
               error: Optional[str] = None) -> None:
@@ -327,3 +355,4 @@ class OptimizationScheduler:
         run.conn.close()
         self._done[job_id] = JobResult(job_id, status, error=error,
                                        elapsed=elapsed)
+        self._account(self._done[job_id])

@@ -1,0 +1,19 @@
+"""RPL009 bad: spans opened without ``with`` / driven by hand."""
+
+
+def leaky_phase(tracer, work):
+    tracer.span("flow.sweep")  # never entered: records nothing
+    return work()
+
+
+def manual_frames(tr, work):
+    tr.begin("flow.decompose")
+    try:
+        return work()
+    finally:
+        tr.end()
+
+
+def stored_context(self):
+    ctx = self.tracer.span("bdd.gc")  # not a with-item either
+    return ctx

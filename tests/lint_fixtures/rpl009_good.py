@@ -1,0 +1,24 @@
+"""RPL009 good: ``with``-scoped spans; unrelated .span() receivers."""
+
+import re
+
+
+def traced_phase(tracer, work):
+    with tracer.span("flow.sweep"):
+        return work()
+
+
+def nested(self, work):
+    with self.tracer.span("flow.decompose", jobs=2) as span:
+        span.attrs["extra"] = 1
+        return work()
+
+
+def regex_span(text):
+    match = re.match(r"\d+", text)
+    return match.span() if match else None
+
+
+def run_span(run):
+    # Receiver name tail "run" is not a tracer: out of scope.
+    return run.span()

@@ -31,7 +31,11 @@ def _run_cli(args, seed, cwd):
     return res
 
 
-@pytest.mark.parametrize("circuit", ["rl_mux", "add4"])
+#: rl_mux/add4 are the historical guards; rot and C880 come from Table I
+#: (rot once emitted hash-seed-dependent gensym numbering through an
+#: unsorted dependency-set DFS in trees_to_network -- the golden-digest
+#: tests caught it, this pins the fix end to end).
+@pytest.mark.parametrize("circuit", ["rl_mux", "add4", "rot", "C880"])
 def test_flow_output_identical_across_hash_seeds(circuit, tmp_path):
     outputs = {}
     for seed in SEEDS:

@@ -26,10 +26,11 @@ FIXTURE_CONFIG = LintConfig(
     signal_handler_allow=(),
     fork_shared_modules=("*/lint_fixtures/*",),
     durable_write_modules=("*/lint_fixtures/*",),
+    trace_internal_allow=(),
 )
 
 RULES = ["RPL001", "RPL002", "RPL003", "RPL004",
-         "RPL005", "RPL006", "RPL007", "RPL008"]
+         "RPL005", "RPL006", "RPL007", "RPL008", "RPL009"]
 
 
 def _lint_fixture(name, code):

@@ -1,0 +1,237 @@
+"""Tests for repro.obs.trace: span trees, counter-delta accounting,
+Chrome export, fork-safe grafting, and the flow integration contract
+(per-span deltas partition BDSResult.perf)."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.bds.flow import BDSOptions, bds_optimize
+from repro.circuits import build_circuit
+from repro.network.blif import write_blif
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+from repro.perf import DERIVED_KEYS, PEAK_KEYS, counter_delta
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _count_totals(perf):
+    return {k: v for k, v in perf.items()
+            if k not in PEAK_KEYS and k not in DERIVED_KEYS and v}
+
+
+def _sum_child_counters(spans):
+    agg = {}
+    for span in spans:
+        for key, val in span.counters.items():
+            agg[key] = agg.get(key, 0) + val
+    return agg
+
+
+class TestSpanTree:
+    def test_nesting_reconstructs_a_valid_tree(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("a.1"):
+                pass
+            with tr.span("a.2", depth=2):
+                with tr.span("a.2.x"):
+                    pass
+        with tr.span("b"):
+            pass
+        roots = tr.roots
+        assert [r.name for r in roots] == ["a", "b"]
+        a = roots[0]
+        assert [c.name for c in a.children] == ["a.1", "a.2"]
+        assert [c.name for c in a.children[1].children] == ["a.2.x"]
+        assert a.children[1].attrs == {"depth": 2}
+        # Parent windows contain their children.
+        for parent in (a, a.children[1]):
+            for child in parent.children:
+                assert child.start >= parent.start
+                assert child.start + child.duration \
+                    <= parent.start + parent.duration + 1e-6
+        assert len(a.walk()) == 4
+
+    def test_exception_still_closes_the_span(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise ValueError("boom")
+        assert tr.current is None
+        assert [r.name for r in tr.roots] == ["outer"]
+        assert [c.name for c in tr.roots[0].children] == ["inner"]
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(RuntimeError):
+            Tracer().end()
+
+    def test_to_dict_from_dict_round_trip(self):
+        tr = Tracer()
+        with tr.span("root", circuit="x"):
+            with tr.span("child"):
+                pass
+        exported = tr.export_spans()
+        json.loads(json.dumps(exported))  # wire format is JSON-able
+        rebuilt = Span.from_dict(exported[0], offset=1.5, tid=7)
+        assert rebuilt.name == "root"
+        assert rebuilt.attrs == {"circuit": "x"}
+        assert rebuilt.tid == 7
+        assert rebuilt.children[0].tid == 7
+        orig = tr.roots[0]
+        assert rebuilt.start == pytest.approx(orig.start + 1.5)
+        assert rebuilt.children[0].start == pytest.approx(
+            orig.children[0].start + 1.5)
+
+
+class TestCounterDeltas:
+    def test_span_captures_count_key_deltas_only(self):
+        state = {"ite_calls": 0.0, "peak_live_nodes": 5.0,
+                 "cache_hit_rate": 0.5}
+        tr = Tracer(counter_source=lambda: dict(state))
+        with tr.span("work"):
+            state["ite_calls"] = 40.0
+            state["peak_live_nodes"] = 99.0     # peak: excluded
+            state["cache_hit_rate"] = 0.9       # derived: excluded
+        assert tr.roots[0].counters == {"ite_calls": 40.0}
+
+    def test_counter_delta_drops_zero_and_sorts_keys(self):
+        before = {"a": 1.0, "b": 2.0}
+        after = {"a": 1.0, "b": 5.0, "z": 1.0, "c": 2.0}
+        delta = counter_delta(before, after)
+        assert delta == {"b": 3.0, "c": 2.0, "z": 1.0}
+        assert list(delta) == ["b", "c", "z"]
+
+    def test_sequential_spans_telescope(self):
+        state = {"n": 0.0}
+        tr = Tracer(counter_source=lambda: dict(state))
+        for bump in (3.0, 0.0, 7.0):
+            with tr.span("step"):
+                state["n"] += bump
+        total = sum(r.counters.get("n", 0) for r in tr.roots)
+        assert total == state["n"] == 10.0
+
+
+class TestFlowIntegration:
+    @pytest.mark.parametrize("circuit", ["rl_mux", "C880"])
+    def test_phase_deltas_partition_flow_totals(self, circuit):
+        tr = Tracer()
+        result = bds_optimize(build_circuit(circuit),
+                              BDSOptions(verify="sim"), tracer=tr)
+        root = result.trace
+        assert root is not None and root.name == "flow"
+        agg = _sum_child_counters(root.children)
+        totals = _count_totals(result.perf)
+        for key, want in totals.items():
+            assert agg.get(key, 0) == pytest.approx(want), \
+                "phase deltas for %r do not sum to the flow total" % key
+        assert set(agg) <= set(totals) | {k for k in agg if agg[k] == 0}
+
+    def test_tracing_does_not_change_the_network(self):
+        net = build_circuit("C432")
+        plain = bds_optimize(net, BDSOptions())
+        traced = bds_optimize(net, BDSOptions(), tracer=Tracer())
+        assert write_blif(traced.network) == write_blif(plain.network)
+
+    def test_parallel_flow_grafts_worker_spans(self):
+        tr = Tracer()
+        result = bds_optimize(build_circuit("add4"), BDSOptions(jobs=2),
+                              tracer=tr)
+        decompose = [c for c in result.trace.children
+                     if c.name == "flow.decompose"]
+        assert len(decompose) == 1
+        workers = decompose[0].children
+        assert workers and all(s.name == "decompose.supernode"
+                               for s in workers)
+        assert all(s.attrs.get("worker") for s in workers)
+        # Fresh tid per graft; rebased into the parent span's window.
+        assert len({s.tid for s in workers}) == len(workers)
+        for s in workers:
+            assert s.start >= decompose[0].start
+        # Worker kernel counters still reach the flow totals.
+        totals = _count_totals(result.perf)
+        assert totals.get("ite_calls", 0) > 0
+
+    def test_chrome_export_loads_and_covers_every_span(self):
+        tr = Tracer()
+        bds_optimize(build_circuit("rl_mux"), BDSOptions(), tracer=tr)
+        doc = json.loads(json.dumps(tr.to_chrome()))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == sum(len(r.walk()) for r in tr.roots)
+        for ev in events:
+            assert set(ev) == {"name", "cat", "ph", "ts", "dur",
+                               "pid", "tid", "args"}
+            assert ev["ph"] == "X" and ev["cat"] == "repro"
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+        flow = [e for e in events if e["name"] == "flow"][0]
+        assert flow["args"]["circuit"] == "rl_mux"
+        assert flow["args"]["counters"]["ite_calls"] > 0
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", attr=1):
+            pass
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.export_spans() == []
+        assert NULL_TRACER.graft([{"name": "x"}]) == []
+        assert not NULL_TRACER.enabled
+
+    def test_null_tracer_rejects_manual_frames(self):
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.begin("x")
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.end()
+
+
+class TestCliTrace:
+    def test_optimize_trace_round_trips_under_jobs(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        gen = tmp_path / "add4.blif"
+        opt = tmp_path / "add4.opt.blif"
+        trace = tmp_path / "add4.trace.json"
+        for args in (["generate", "add4", "-o", str(gen)],
+                     ["optimize", str(gen), "-o", str(opt),
+                      "--jobs", "2", "--trace", str(trace)]):
+            res = subprocess.run([sys.executable, "-m", "repro.cli"] + args,
+                                 env=env, capture_output=True, text=True)
+            assert res.returncode == 0, res.stdout + res.stderr
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"flow", "flow.decompose", "decompose.supernode"} <= names
+        tids = {e["tid"] for e in doc["traceEvents"]
+                if e["name"] == "decompose.supernode"}
+        assert len(tids) > 1     # workers land on their own rows
+
+
+@pytest.mark.perf
+class TestDisabledOverhead:
+    """Acceptance: instrumentation with tracing disabled costs <2% of
+    flow CPU (null-span micro-cost x the span count of a traced run)."""
+
+    def test_null_span_cost_under_two_percent_of_flow(self):
+        net = build_circuit("C499")
+        t0 = time.perf_counter()
+        bds_optimize(net, BDSOptions())
+        flow_s = time.perf_counter() - t0
+
+        tr = Tracer()
+        bds_optimize(net, BDSOptions(), tracer=tr)
+        spans = sum(len(r.walk()) for r in tr.roots)
+
+        reps = 200_000
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            with NULL_TRACER.span("x"):
+                pass
+        per_span = (time.perf_counter() - t0) / reps
+        overhead = per_span * spans
+        assert overhead < 0.02 * flow_s, \
+            "disabled tracing costs %.3gs on a %.3gs flow (%d spans)" \
+            % (overhead, flow_s, spans)

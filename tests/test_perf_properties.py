@@ -1,0 +1,80 @@
+"""Hypothesis property tests for repro.perf snapshot merging.
+
+The obs layer leans on the algebra of :func:`merge_snapshots`: the
+flow's frozen-plus-live counter accounting re-merges overlapping
+snapshot lists at every span boundary, which is only sound when merging
+is associative and commutative and never loses a key.  Integer-valued
+counters make the arithmetic exact, so the properties hold with ``==``
+rather than approximation.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.perf import DERIVED_KEYS, PEAK_KEYS, counter_delta, merge_snapshots
+
+#: A closed key universe mixing count keys, both peak keys, and the
+#: derived ratios (which merge must ignore on input and recompute).
+KEYS = st.sampled_from([
+    "ite_calls", "nodes_allocated", "gc_sweeps", "cache_hits",
+    "cache_misses", "artifact_cache_hits",
+    "peak_live_nodes", "peak_allocated_nodes",
+    "cache_hit_rate", "unique_live_ratio",
+])
+
+SNAPSHOT = st.dictionaries(KEYS, st.integers(min_value=0, max_value=10**6)
+                           .map(float), max_size=10)
+SNAPSHOTS = st.lists(SNAPSHOT, max_size=6)
+
+
+@given(a=SNAPSHOT, b=SNAPSHOT)
+def test_merge_is_commutative(a, b):
+    assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+
+@given(a=SNAPSHOT, b=SNAPSHOT, c=SNAPSHOT)
+def test_merge_is_associative(a, b, c):
+    left = merge_snapshots([merge_snapshots([a, b]), c])
+    right = merge_snapshots([a, merge_snapshots([b, c])])
+    assert left == right
+
+
+@given(snaps=SNAPSHOTS)
+def test_merge_never_drops_keys(snaps):
+    merged = merge_snapshots(snaps)
+    wanted = set()
+    for snap in snaps:
+        wanted |= set(snap) - DERIVED_KEYS
+    assert wanted <= set(merged)
+    # The derived ratios are always recomputed onto the result.
+    assert DERIVED_KEYS <= set(merged)
+
+
+@given(snaps=SNAPSHOTS)
+def test_merged_counts_are_sums_and_peaks_are_maxima(snaps):
+    merged = merge_snapshots(snaps)
+    for key in set(merged) - DERIVED_KEYS:
+        values = [s.get(key, 0.0) for s in snaps]
+        if key in PEAK_KEYS:
+            assert merged[key] == max([0.0] + values) \
+                or merged[key] == max(v for s in snaps if key in s
+                                      for v in [s[key]])
+        else:
+            assert merged[key] == sum(values)
+
+
+@given(a=SNAPSHOT, b=SNAPSHOT)
+def test_merge_is_idempotent_on_empty(a, b):
+    assert merge_snapshots([a, {}]) == merge_snapshots([a])
+
+
+@given(before=SNAPSHOT, bump=SNAPSHOT)
+def test_counter_delta_telescopes_with_merge(before, bump):
+    """delta(before, merge(before, bump)) recovers bump's count keys."""
+    after = merge_snapshots([before, bump])
+    delta = counter_delta(before, {k: v for k, v in after.items()
+                                   if k not in DERIVED_KEYS})
+    for key, value in bump.items():
+        if key in PEAK_KEYS or key in DERIVED_KEYS:
+            assert key not in delta or delta[key] >= 0
+        elif value:
+            assert delta.get(key, 0.0) == value

@@ -12,6 +12,7 @@ from repro.bds.flow import BDSOptions
 from repro.circuits import build_circuit
 from repro.circuits.registry import TABLE1_CIRCUITS
 from repro.network.blif import parse_blif, write_blif
+from repro.obs.metrics import get_registry
 from repro.service import (ArtifactCache, OptimizationService, ServiceRequest)
 from repro.verify import verify_networks
 
@@ -109,6 +110,57 @@ class TestServeLoop:
                                    cache=ArtifactCache(str(tmp_path)))
         assert [o["cached"] for o in out] == [False, True]
         assert out[0]["blif"] == out[1]["blif"]
+
+    def test_stats_covers_scheduler_and_kernel_not_just_cache(self,
+                                                              tmp_path):
+        # Regression: the stats response used to expose only the
+        # artifact-cache counters; scheduler queue state and the kernel
+        # counters served were invisible to operators.
+        get_registry().reset()
+        blif = write_blif(build_circuit("add4"))
+        lines = [json.dumps({"blif": blif, "id": "job-a"}),
+                 json.dumps({"cmd": "stats"})]
+        _served, out = self._serve(lines, cache=ArtifactCache(str(tmp_path)))
+        stats = out[1]
+        assert stats["cache"]["artifact_cache_misses"] == 1
+        sched = stats["scheduler"]
+        assert sched["queue_depth"] == 0 and sched["running"] == 0
+        assert sched["jobs_total"] == {"ok": 1, "failed": 0,
+                                       "timeout": 0, "cancelled": 0}
+        # Kernel counters of the served flow are aggregated in.
+        assert stats["kernel"]["ite_calls"] > 0
+        assert stats["kernel"]["nodes_allocated"] > 0
+        # And the raw registry rides along (counters/gauges/histograms).
+        metrics = stats["metrics"]
+        assert metrics["counters"][
+            'service_requests_total{cached="false",status="ok"}'] == 1
+        assert metrics["histograms"][
+            "scheduler_job_seconds"]["count"] == 1
+
+    def test_metrics_command_renders_prometheus_text(self, tmp_path):
+        get_registry().reset()
+        blif = write_blif(build_circuit("add4"))
+        lines = [json.dumps({"blif": blif, "id": "job-a"}),
+                 json.dumps({"cmd": "metrics"})]
+        _served, out = self._serve(lines, cache=ArtifactCache(str(tmp_path)))
+        assert out[1]["status"] == "ok"
+        text = out[1]["text"]
+        assert "# TYPE repro_scheduler_jobs_total counter" in text
+        assert 'repro_scheduler_jobs_total{status="ok"} 1' in text
+        assert "# TYPE repro_scheduler_job_seconds histogram" in text
+        assert 'repro_scheduler_job_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_serve_trace_request_returns_span_trees(self):
+        blif = write_blif(build_circuit("add4"))
+        lines = [json.dumps({"blif": blif, "id": "traced", "trace": True}),
+                 json.dumps({"blif": blif, "id": "untraced"})]
+        _served, out = self._serve(lines)
+        assert out[0]["status"] == "ok"
+        spans = out[0]["trace"]
+        assert spans and spans[-1]["name"] == "flow"
+        phase_names = [c["name"] for c in spans[-1]["children"]]
+        assert "flow.sweep" in phase_names and "flow.lower" in phase_names
+        assert "trace" not in out[1]
 
 
 @pytest.mark.perf
