@@ -15,13 +15,18 @@ Mirrors how BDS itself was used as a tool::
     python -m repro.cli batch <dir-or-files...> [--cache-dir DIR]
         [--jobs J] [--timeout S] [--out-dir DIR] [--json]
     python -m repro.cli serve [--cache-dir DIR] [--jobs J] [--timeout S]
+        [--socket PATH | --port N [--host H]] [--backlog N]
+    python -m repro.cli client <dir-or-files...>
+        (--socket PATH | --port N [--host H]) [--timeout S]
+        [--out-dir DIR] [--json]
     python -m repro.cli bench [circuits...] [--out FILE]
         [--compare BASELINE] [--cpu-tol T]
 
 Exit codes: 0 clean; 1 failure (verification mismatch, lint violation,
-fuzz find, failed/timed-out batch job, bench regression); 2 inconclusive
-(outputs the size-capped verifier could not prove, bench baselines not
-comparable) or parse error for ``check``.
+fuzz find, failed/timed-out batch or client job, bench regression,
+unreachable server); 2 inconclusive (outputs the size-capped verifier
+could not prove, bench baselines not comparable) or parse error for
+``check``.
 """
 
 from __future__ import annotations
@@ -291,12 +296,104 @@ def _cmd_batch(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Long-lived JSON-lines daemon: one request per stdin line, one
-    response per stdout line (see docs/SERVICE.md for the wire format)."""
+    """Long-lived JSON-lines daemon.
+
+    Default transport is stdin/stdout (one request per input line, one
+    response per output line); ``--socket PATH`` / ``--port N`` instead
+    runs the concurrent socket front door (many clients, shared cache +
+    scheduler, SIGTERM drain) -- see docs/SERVICE.md for both wire
+    formats.
+    """
     service = _service_from_args(args)
+    if args.socket or args.port is not None:
+        from repro.service.server import SocketServer
+
+        server = SocketServer(service, socket_path=args.socket,
+                              host=args.host, port=args.port,
+                              backlog=args.backlog)
+        server.serve_forever()
+        print("serve: drained cleanly", file=sys.stderr)
+        return 0
     served = service.serve(sys.stdin, sys.stdout)
     print("serve: handled %d request(s)" % served, file=sys.stderr)
     return 0
+
+
+def _cmd_client(args) -> int:
+    """Send BLIFs to a running ``repro serve --socket/--port`` server.
+
+    Same exit contract as ``batch``: 0 all ok and proven, 1 any job
+    failed / timed out / was cancelled (or the server is unreachable),
+    2 all ok but some outputs UNPROVEN.  Overloaded replies are retried
+    with jittered exponential backoff before giving up.
+    """
+    from repro.service.client import ServiceClient, ServiceUnavailable
+
+    if (args.socket is None) == (args.port is None):
+        print("client: exactly one of --socket / --port is required",
+              file=sys.stderr)
+        return 1
+    files = _batch_inputs(args.inputs)
+    if not files:
+        print("client: no BLIF inputs found", file=sys.stderr)
+        return 1
+    options = BDSOptions(verify=args.verify or "off").to_dict()
+    requests = []
+    for path in files:
+        with open(path) as fh:
+            requests.append({"blif": fh.read(), "options": options,
+                             "timeout": args.timeout})
+    client = ServiceClient(socket_path=args.socket, host=args.host,
+                           port=args.port, retries=args.retries)
+    t0 = time.perf_counter()
+    try:
+        with client:
+            responses = client.request_many(requests)
+    except ServiceUnavailable as exc:
+        print("client: %s" % exc, file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - t0
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+    any_failed = False
+    any_unknown = False
+    for path, resp in zip(files, responses):
+        status = resp.get("status", "failed")
+        if status != "ok":
+            any_failed = True
+        if resp.get("verify_unknown_outputs"):
+            any_unknown = True
+        if args.out_dir and status == "ok" and resp.get("blif") is not None:
+            stem = os.path.splitext(os.path.basename(path))[0]
+            with open(os.path.join(args.out_dir, stem + ".opt.blif"),
+                      "w") as fh:
+                fh.write(resp["blif"])
+        if not args.json:
+            note = "cached" if resp.get("cached") \
+                else "%.2fs" % resp.get("elapsed", 0.0)
+            print("%-40s %-9s %s%s"
+                  % (path, status, note,
+                     " [%s]" % resp["error"] if resp.get("error") else ""),
+                  file=sys.stderr)
+    if args.json:
+        obj = {
+            "results": [{k: v for k, v in r.items() if k != "blif"}
+                        for r in responses],
+            "files": files,
+            "elapsed_s": round(elapsed, 6),
+            "backpressure_retries": client.backpressure_seen,
+        }
+        print(json.dumps(obj, sort_keys=True))
+    else:
+        print("client: %d file(s) in %.2fs -- %d ok (%d cached), %d failed"
+              % (len(files), elapsed,
+                 sum(r.get("status") == "ok" for r in responses),
+                 sum(bool(r.get("cached")) for r in responses),
+                 sum(r.get("status") != "ok" for r in responses)),
+              file=sys.stderr)
+    if any_failed:
+        return 1
+    return 2 if any_unknown else 0
 
 
 def _cmd_lint(args) -> int:
@@ -552,11 +649,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_ben.set_defaults(func=_cmd_bench)
 
     p_srv = sub.add_parser("serve", help="JSON-lines optimization daemon "
-                                         "on stdin/stdout")
+                                         "(stdin/stdout, or a socket "
+                                         "with --socket/--port)")
     p_srv.add_argument("--cache-dir", metavar="DIR")
     p_srv.add_argument("--jobs", type=int, default=1)
     p_srv.add_argument("--timeout", type=float, default=None, metavar="S")
+    p_srv.add_argument("--socket", metavar="PATH",
+                       help="serve many concurrent clients on a Unix-domain "
+                            "socket instead of stdin/stdout")
+    p_srv.add_argument("--port", type=int, default=None, metavar="N",
+                       help="serve on TCP port N (0 = ephemeral)")
+    p_srv.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port (default 127.0.0.1)")
+    p_srv.add_argument("--backlog", type=int, default=64, metavar="N",
+                       help="outstanding jobs before requests are refused "
+                            "with an 'overloaded' reply (default 64)")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_cli = sub.add_parser("client", help="send BLIFs to a running "
+                                          "'repro serve' socket server")
+    p_cli.add_argument("inputs", nargs="+",
+                       help="BLIF files and/or directories of *.blif")
+    p_cli.add_argument("--socket", metavar="PATH",
+                       help="Unix-domain socket of the server")
+    p_cli.add_argument("--port", type=int, default=None, metavar="N",
+                       help="TCP port of the server")
+    p_cli.add_argument("--host", default="127.0.0.1")
+    p_cli.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock budget in seconds")
+    p_cli.add_argument("--retries", type=int, default=10,
+                       help="rounds of backoff-retry for connect refusals "
+                            "and 'overloaded' replies (default 10)")
+    p_cli.add_argument("--verify", nargs="?", const="cec", default=None,
+                       choices=["sim", "cec", "full"], metavar="MODE")
+    p_cli.add_argument("--out-dir", metavar="DIR",
+                       help="write each result as <name>.opt.blif here")
+    p_cli.add_argument("--json", action="store_true",
+                       help="print one JSON summary object on stdout")
+    p_cli.set_defaults(func=_cmd_client)
     return parser
 
 

@@ -102,9 +102,12 @@ class LintConfig:
                                              "*/repro/cli.py")
 
     # -- RPL006: fork-safety around scheduler workers ------------------
-    #: The one module sanctioned to install signal handlers (the worker
-    #: entry arms SIGALRM *after* fork, which is the safe direction).
-    signal_handler_allow: Tuple[str, ...] = ("*/repro/service/scheduler.py",)
+    #: Modules sanctioned to install signal handlers: the worker entry
+    #: arms SIGALRM *after* fork (the safe direction), and the socket
+    #: server owns the process's SIGTERM drain handler (installed in the
+    #: main thread only; forked workers reset it to SIG_DFL).
+    signal_handler_allow: Tuple[str, ...] = ("*/repro/service/scheduler.py",
+                                             "*/repro/service/server.py",)
     #: Modules whose module-level state is shared with forked workers.
     fork_shared_modules: Tuple[str, ...] = ("*/repro/service/*",)
 

@@ -10,7 +10,11 @@ Tolerance policy (docs/OBSERVABILITY.md):
 * ``cpu_s`` -- ratio tolerance, default +/-25% (machines differ; pass a
   wider ``cpu_tol`` on shared CI runners).  Slower than baseline by more
   than the tolerance is a **regression**; faster is reported as an
-  improvement and passes (refresh the baseline to lock it in).
+  improvement and passes (refresh the baseline to lock it in).  Both
+  sides are clamped to an absolute floor (``CPU_FLOOR_S``) before the
+  ratio: a sub-millisecond baseline (tiny circuit, fast machine) would
+  otherwise blow any relative tolerance on scheduler noise alone -- or
+  divide by zero outright.  Only a *negative* baseline is incomparable.
 * ``nodes`` / ``literals`` -- **exact**.  The flow is deterministic, so
   *any* drift in result quality, in either direction, demands a
   deliberate baseline update, never a silent one.
@@ -42,6 +46,12 @@ DEFAULT_BENCH_CIRCUITS: Tuple[str, ...] = (
 
 #: Exact result-quality metrics (determinism contract: no tolerance).
 EXACT_METRICS: Tuple[str, ...] = ("nodes", "literals")
+
+#: Absolute floor for the CPU ratio comparison: timings below this are
+#: measurement noise, so both sides are clamped to it before dividing.
+#: A 0.0 s baseline thus compares as ``floor`` rather than raising
+#: ZeroDivisionError or failing the gate on an 0.4 ms -> 0.9 ms "2.2x".
+CPU_FLOOR_S = 0.05
 
 #: ``(description, predicate)`` consistency rules over one circuit's
 #: fresh counter snapshot; a False verdict poisons the comparison.
@@ -162,7 +172,8 @@ def load_baseline(path: str) -> Dict[str, Any]:
 
 
 def compare_payloads(baseline: Dict[str, Any], current: Dict[str, Any],
-                     cpu_tol: float = 0.25) -> RegressionReport:
+                     cpu_tol: float = 0.25,
+                     cpu_floor: float = CPU_FLOOR_S) -> RegressionReport:
     """Diff ``current`` against ``baseline`` (see module doc)."""
     report = RegressionReport()
     base_circuits = baseline.get("circuits")
@@ -180,13 +191,13 @@ def compare_payloads(baseline: Dict[str, Any], current: Dict[str, Any],
                 "circuit missing from %s"
                 % ("current run" if cur is None else "baseline")))
             continue
-        _compare_circuit(report, name, base, cur, cpu_tol)
+        _compare_circuit(report, name, base, cur, cpu_tol, cpu_floor)
     return report
 
 
 def _compare_circuit(report: RegressionReport, name: str,
                      base: Dict[str, Any], cur: Dict[str, Any],
-                     cpu_tol: float) -> None:
+                     cpu_tol: float, cpu_floor: float = CPU_FLOOR_S) -> None:
     # Counter consistency first: broken telemetry poisons everything.
     counters = {str(k): float(v)
                 for k, v in (cur.get("counters") or {}).items()}
@@ -210,11 +221,15 @@ def _compare_circuit(report: RegressionReport, name: str,
     if b_cpu is None or c_cpu is None:
         report.diffs.append(Diff(name, "cpu_s", b_cpu, c_cpu,
                                  "incomparable", "metric missing"))
-    elif float(b_cpu) <= 0:
+    elif float(b_cpu) < 0:
         report.diffs.append(Diff(name, "cpu_s", float(b_cpu), float(c_cpu),
-                                 "incomparable", "non-positive baseline"))
+                                 "incomparable", "negative baseline"))
     else:
-        ratio = float(c_cpu) / float(b_cpu)
+        # max(x, floor) on both sides: a near-zero baseline is noise, not
+        # a denominator (satellite fix for ZeroDivisionError / spurious
+        # failures on sub-millisecond circuits).
+        ratio = max(float(c_cpu), cpu_floor) / max(float(b_cpu), cpu_floor)
+        floored = float(b_cpu) < cpu_floor or float(c_cpu) < cpu_floor
         if ratio > 1.0 + cpu_tol:
             status, note = "regressed", "%.2fx slower (tol %.0f%%)" % (
                 ratio, cpu_tol * 100)
@@ -222,5 +237,7 @@ def _compare_circuit(report: RegressionReport, name: str,
             status, note = "improved", "%.2fx of baseline" % ratio
         else:
             status, note = "ok", ""
+        if floored and note:
+            note += "; floored at %gs" % cpu_floor
         report.diffs.append(Diff(name, "cpu_s", float(b_cpu), float(c_cpu),
                                  status, note))

@@ -1,9 +1,9 @@
 """The optimization service: cache-lookup -> schedule -> cache-store.
 
 :class:`OptimizationService` is the one front door every entry point
-(``repro batch``, ``repro serve``, future sharded/multi-backend layers)
-routes through.  A request carries a BLIF netlist plus a
-:class:`repro.bds.flow.BDSOptions` snapshot; the service
+(``repro batch``, ``repro serve``, the socket server in
+:mod:`repro.service.server`) routes through.  A request carries a BLIF
+netlist plus a :class:`repro.bds.flow.BDSOptions` snapshot; the service
 
 1. keys the request into the content-addressed
    :class:`repro.service.cache.ArtifactCache` and answers hits without
@@ -13,17 +13,28 @@ routes through.  A request carries a BLIF netlist plus a
    queue, per-job timeouts, crash recovery);
 3. stores every successful result back into the cache.
 
-Responses come back in request order regardless of worker completion
-order, and a cache hit is byte-identical to the artifact originally
-stored (the BLIF text is returned verbatim, not re-serialized).
+Concurrency is layered through :class:`ServiceSession`: one session is
+one pipelined request stream (a batch, the stdin loop, or one socket
+connection) whose responses come back **in that session's request
+order** regardless of worker completion order; many sessions can
+multiplex onto one shared scheduler, which is how the socket server
+overlaps clients.  A cache hit is byte-identical to the artifact
+originally stored (the BLIF text is returned verbatim, never
+re-serialized).
 
-``serve`` implements the ``repro serve`` JSON-lines daemon: one request
-object per input line, one response object per output line.
+``serve`` implements the stdin/stdout ``repro serve`` JSON-lines
+daemon: one request object per input line, one response object per
+output line, with requests pipelined onto the scheduler between lines.
+A ``{"cmd": "shutdown"}`` that interleaves with still-pending requests
+cancels them and emits the documented per-request ``cancelled``
+response for each before the final ack -- clients never hang waiting
+for a reply that was silently dropped.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, IO, List, Optional
 
@@ -36,6 +47,8 @@ from repro.service.scheduler import JobResult, OptimizationScheduler
 #: Job statuses the stats response enumerates (stable wire shape: every
 #: status appears, zero or not).
 JOB_STATUSES = ("ok", "failed", "timeout", "cancelled")
+
+_DRAIN_POLL = 0.005
 
 
 @dataclass
@@ -91,75 +104,267 @@ class ServiceResponse:
         return obj
 
 
+class ServiceSession:
+    """One pipelined request stream over a (possibly shared) scheduler.
+
+    ``submit`` answers cache hits and parse failures immediately and
+    schedules everything else with a completion callback; ``ready``
+    pops finished responses **in submission order** (head-of-line:
+    response *k* is never released before response *k-1*), which is the
+    per-connection ordering contract of both serve modes.  Sessions do
+    not own the scheduler -- many sessions multiplex onto one -- and
+    they obtain it lazily, so a session answered entirely from cache
+    never pays the scheduler's startup cost.
+    """
+
+    def __init__(self, service: "OptimizationService",
+                 scheduler_provider: Callable[[], OptimizationScheduler]) \
+            -> None:
+        self._service = service
+        self._scheduler_provider = scheduler_provider
+        self._scheduler: Optional[OptimizationScheduler] = None
+        self._slots: List[Optional[ServiceResponse]] = []
+        self._next_emit = 0
+        self._unfilled = 0
+        #: scheduler job id -> slot, for outstanding (scheduled) slots.
+        self._jobs: Dict[int, int] = {}
+        #: cache key -> follower (slot, request) pairs coalesced onto an
+        #: in-flight job for the same key (thundering-herd dedup: the
+        #: same netlist submitted twice runs once; the duplicate is
+        #: answered from the cache the moment the first run stores).
+        self._inflight: Dict[str, List[Any]] = {}
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, req: ServiceRequest) -> int:
+        """Admit one request; returns its slot index.
+
+        Raises :class:`repro.service.scheduler.SchedulerFull` when the
+        request needs scheduling and the queue is at capacity -- callers
+        either apply backpressure (batch/stdin modes) or convert it into
+        an explicit ``overloaded`` reply (the socket server).
+        """
+        slot = len(self._slots)
+        self._slots.append(None)
+        self._unfilled += 1
+        cache = self._service.cache
+        key: Optional[str] = None
+        if cache is not None:
+            try:
+                key = cache.key_for(req.blif, req.options)
+            except ValueError as exc:
+                self._fill(slot, ServiceResponse(
+                    req.name, "failed", error="parse error: %s" % exc))
+                return slot
+            artifact = cache.lookup(key)
+            if artifact is not None:
+                self._fill(slot, self._service._hit_response(req, artifact))
+                return slot
+        if key is not None and not req.trace and key in self._inflight:
+            # Same key already running in this session: ride along
+            # instead of scheduling duplicate work.
+            self._inflight[key].append((slot, req))
+            return slot
+        try:
+            self._schedule(slot, req, key)
+        except BaseException:
+            # Nothing was scheduled: retract the slot so a rejected
+            # request (queue full) leaves no hole in the stream.
+            self._slots.pop()
+            self._unfilled -= 1
+            raise
+        if key is not None and not req.trace:
+            self._inflight[key] = []
+        return slot
+
+    def _schedule(self, slot: int, req: ServiceRequest,
+                  key: Optional[str]) -> None:
+        payload: Dict[str, Any] = {"blif": req.blif,
+                                   "options": req.options.to_dict()}
+        if req.trace:
+            payload["trace"] = True
+        sched = self.scheduler()
+
+        def _on_complete(job: JobResult) -> None:
+            self._jobs.pop(job.job_id, None)
+            self._fill(slot, self._service._miss_response(req, key, job))
+            if key is None:
+                return
+            cache = self._service.cache
+            for fslot, freq in self._inflight.pop(key, []):
+                artifact = cache.lookup(key) \
+                    if job.ok and cache is not None else None
+                if artifact is not None:
+                    self._fill(fslot,
+                               self._service._hit_response(freq, artifact))
+                else:
+                    # Identical request, identical verdict: a failed /
+                    # timed-out / cancelled primary answers its
+                    # followers too (no store -> no hit to serve).
+                    self._fill(fslot,
+                               self._service._miss_response(freq, None, job))
+
+        job_id = sched.submit(payload, timeout=req.timeout,
+                              on_complete=_on_complete)
+        self._jobs[job_id] = slot
+
+    # -- progress -------------------------------------------------------
+
+    def scheduler(self) -> OptimizationScheduler:
+        """The session's scheduler, created on first need."""
+        if self._scheduler is None:
+            self._scheduler = self._scheduler_provider()
+        return self._scheduler
+
+    @property
+    def scheduler_started(self) -> bool:
+        return self._scheduler is not None
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted requests not yet answered."""
+        return self._unfilled
+
+    def poll(self) -> None:
+        """Advance the scheduler without blocking (fires completions)."""
+        if self._scheduler is not None:
+            self._scheduler.poll()
+
+    def drain(self) -> None:
+        """Block until every submitted request has a response."""
+        while self._unfilled:
+            self.poll()
+            if self._unfilled:
+                time.sleep(_DRAIN_POLL)
+
+    def ready(self) -> List[ServiceResponse]:
+        """Pop completed responses from the head of the stream, in
+        submission order; stops at the first still-pending slot."""
+        out: List[ServiceResponse] = []
+        while self._next_emit < len(self._slots):
+            resp = self._slots[self._next_emit]
+            if resp is None:
+                break
+            out.append(resp)
+            self._next_emit += 1
+        return out
+
+    def take_all(self) -> List[ServiceResponse]:
+        """Every response, in submission order (requires a prior drain)."""
+        assert self._unfilled == 0, "take_all() before drain()"
+        self._next_emit = len(self._slots)
+        return [r for r in self._slots if r is not None]
+
+    def cancel_outstanding(self) -> int:
+        """Cancel every unanswered request, filling its slot.
+
+        A job that already completed inside the scheduler keeps its real
+        verdict (first verdict wins); everything else is answered with
+        ``status="cancelled"``, ``error="cancelled"`` -- the documented
+        per-request error object -- so no client is left hanging.
+        Returns the number of slots that were still unanswered.
+        """
+        cancelled = 0
+        for job_id in sorted(self._jobs):
+            if self._slots[self._jobs[job_id]] is None:
+                cancelled += 1
+                self.scheduler().cancel(job_id)
+        # Defensive: any slot somehow still unanswered is filled so the
+        # response stream always terminates.
+        for slot, resp in enumerate(self._slots):
+            if resp is None:
+                self._fill(slot, ServiceResponse(
+                    "", "cancelled", error="cancelled"))
+        return cancelled
+
+    # -- internals ------------------------------------------------------
+
+    def _fill(self, slot: int, resp: ServiceResponse) -> None:
+        assert self._slots[slot] is None, "slot %d filled twice" % slot
+        self._slots[slot] = resp
+        self._unfilled -= 1
+        self._service._note_response(resp)
+
+
 class OptimizationService:
-    """Batched optimization with artifact reuse (see module doc)."""
+    """Batched optimization with artifact reuse (see module doc).
+
+    ``scheduler`` (optional) is an externally owned, long-lived
+    scheduler that every session of this service multiplexes onto --
+    the socket server's mode.  Without it, ``process``/``serve`` create
+    a private scheduler from ``scheduler_factory`` on first miss and
+    tear it down when done.
+    """
 
     def __init__(self, cache: Optional[ArtifactCache] = None,
                  max_workers: int = 1, queue_cap: int = 64,
                  default_timeout: Optional[float] = None,
                  scheduler_factory: Callable[..., OptimizationScheduler]
-                 = OptimizationScheduler) -> None:
+                 = OptimizationScheduler,
+                 scheduler: Optional[OptimizationScheduler] = None) -> None:
         self.cache = cache
         self.max_workers = max_workers
         self.queue_cap = queue_cap
         self.default_timeout = default_timeout
         self._scheduler_factory = scheduler_factory
+        self._shared_scheduler = scheduler
         # Kernel counters aggregated over every response this service
         # produced (hits and misses alike); reported by the stats command.
         self._kernel: Dict[str, float] = {}
 
+    # -- sessions -------------------------------------------------------
+
+    def make_scheduler(self) -> OptimizationScheduler:
+        """A fresh scheduler with this service's settings (callers own
+        its lifetime)."""
+        return self._scheduler_factory(
+            max_workers=self.max_workers, queue_cap=self.queue_cap,
+            default_timeout=self.default_timeout)
+
+    def session(self,
+                scheduler: Optional[OptimizationScheduler] = None) \
+            -> ServiceSession:
+        """A new pipelined session.  ``scheduler`` (or the service's
+        shared one) is used when given; otherwise the session lazily
+        creates -- but does not own -- one via :meth:`make_scheduler`,
+        so callers without a shared scheduler should use
+        :meth:`_owned_session` instead."""
+        shared = scheduler or self._shared_scheduler
+        if shared is not None:
+            return ServiceSession(self, lambda: shared)
+        return ServiceSession(self, self.make_scheduler)
+
     # -- core ----------------------------------------------------------
 
     def process(self, requests: List[ServiceRequest]) -> List[ServiceResponse]:
-        """Answer every request, in order: cache -> schedule -> store."""
-        responses: List[Optional[ServiceResponse]] = [None] * len(requests)
-        misses: List[int] = []
-        keys: List[Optional[str]] = [None] * len(requests)
-        for i, req in enumerate(requests):
-            if self.cache is not None:
-                try:
-                    key = self.cache.key_for(req.blif, req.options)
-                except ValueError as exc:
-                    responses[i] = ServiceResponse(
-                        req.name, "failed", error="parse error: %s" % exc)
-                    continue
-                keys[i] = key
-                artifact = self.cache.lookup(key)
-                if artifact is not None:
-                    responses[i] = self._hit_response(req, artifact)
-                    continue
-            misses.append(i)
-        if misses:
-            with self._scheduler_factory(
-                    max_workers=self.max_workers, queue_cap=self.queue_cap,
-                    default_timeout=self.default_timeout) as sched:
-                payloads: List[Dict[str, Any]] = []
-                for i in misses:
-                    payload: Dict[str, Any] = {
-                        "blif": requests[i].blif,
-                        "options": requests[i].options.to_dict()}
-                    if requests[i].trace:
-                        payload["trace"] = True
-                    payloads.append(payload)
-                for i, payload in zip(misses, payloads):
-                    while sched.outstanding >= sched.queue_cap:
-                        sched.poll()
-                    sched.submit(payload, timeout=requests[i].timeout)
-                results = sched.wait()
-            for i, job in zip(misses, results):
-                responses[i] = self._miss_response(requests[i], keys[i], job)
-        final = [r for r in responses if r is not None]
-        self._kernel = merge_snapshots([self._kernel]
-                                       + [r.perf for r in final if r.perf])
-        registry = get_registry()
-        for resp in final:
-            registry.counter("service_requests_total",
-                             status=resp.status,
-                             cached=str(resp.cached).lower()).inc()
-        return final
+        """Answer every request, in order: cache -> schedule -> store.
+
+        Backpressure, not rejection: past the scheduler's queue cap the
+        call blocks until a slot frees up.
+        """
+        session = self.session()
+        owned = self._shared_scheduler is None
+        try:
+            for req in requests:
+                self._backpressure(session)
+                session.submit(req)
+            session.drain()
+        finally:
+            if owned and session.scheduler_started:
+                session.scheduler().shutdown()
+        return session.take_all()
 
     def optimize_one(self, request: ServiceRequest) -> ServiceResponse:
         return self.process([request])[0]
+
+    def _backpressure(self, session: ServiceSession) -> None:
+        """Block while the session's scheduler queue is at capacity."""
+        if not session.scheduler_started:
+            return
+        sched = session.scheduler()
+        while sched.outstanding >= sched.queue_cap:
+            sched.poll()
+            time.sleep(_DRAIN_POLL)
 
     # -- JSON-lines daemon ---------------------------------------------
 
@@ -171,47 +376,79 @@ class OptimizationService:
         ``{"cmd": "metrics"}`` / ``{"cmd": "shutdown"}``.
         Every line gets exactly one JSON response line; malformed lines
         get ``{"status": "failed", ...}`` rather than killing the daemon.
+
+        Requests pipeline onto the scheduler between input lines;
+        responses to requests are emitted in request order.  ``stats``
+        and ``metrics`` drain outstanding work first (their numbers
+        cover everything submitted before them); ``shutdown`` instead
+        *cancels* outstanding work, emitting the per-request
+        ``cancelled`` response for every unanswered request before the
+        final ack.
         """
+        session = self.session()
+        owned = self._shared_scheduler is None
         served = 0
-        for line in stdin:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                obj = json.loads(line)
-                if not isinstance(obj, dict):
-                    raise ValueError("request must be a JSON object")
-            except ValueError as exc:
-                self._emit(stdout, {"status": "failed",
-                                    "error": "bad request: %s" % exc})
-                continue
-            cmd = obj.get("cmd")
-            if cmd == "shutdown":
-                self._emit(stdout, {"status": "ok", "served": served})
-                break
-            if cmd == "stats":
-                self._emit(stdout, self.stats(served))
-                continue
-            if cmd == "metrics":
-                self._emit(stdout, {
-                    "status": "ok", "format": "prometheus",
-                    "text": get_registry().render_prometheus()})
-                continue
-            try:
-                req = ServiceRequest(
-                    blif=obj["blif"],
-                    options=BDSOptions.from_dict(obj.get("options") or {}),
-                    name=str(obj.get("id", served)),
-                    timeout=obj.get("timeout", self.default_timeout),
-                    trace=bool(obj.get("trace", False)))
-            except (KeyError, TypeError, ValueError) as exc:
-                self._emit(stdout, {"status": "failed",
-                                    "error": "bad request: %s" % exc})
-                continue
-            resp = self.optimize_one(req)
-            self._emit(stdout, dict(resp.to_json_obj(), id=req.name))
-            served += 1
-        return served
+
+        def flush() -> None:
+            nonlocal served
+            for resp in session.ready():
+                self._emit(stdout, dict(resp.to_json_obj(), id=resp.name))
+                served += 1
+
+        try:
+            for line in stdin:
+                line = line.strip()
+                if not line:
+                    continue
+                session.poll()
+                flush()
+                try:
+                    obj = json.loads(line)
+                    if not isinstance(obj, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    self._emit(stdout, {"status": "failed",
+                                        "error": "bad request: %s" % exc})
+                    continue
+                cmd = obj.get("cmd")
+                if cmd == "shutdown":
+                    session.cancel_outstanding()
+                    flush()
+                    self._emit(stdout, {"status": "ok", "served": served})
+                    return served
+                if cmd == "stats":
+                    session.drain()
+                    flush()
+                    self._emit(stdout, self.stats(served))
+                    continue
+                if cmd == "metrics":
+                    session.drain()
+                    flush()
+                    self._emit(stdout, {
+                        "status": "ok", "format": "prometheus",
+                        "text": get_registry().render_prometheus()})
+                    continue
+                try:
+                    req = ServiceRequest(
+                        blif=obj["blif"],
+                        options=BDSOptions.from_dict(obj.get("options") or {}),
+                        name=str(obj.get("id", served + session.outstanding)),
+                        timeout=obj.get("timeout", self.default_timeout),
+                        trace=bool(obj.get("trace", False)))
+                except (KeyError, TypeError, ValueError) as exc:
+                    self._emit(stdout, {"status": "failed",
+                                        "error": "bad request: %s" % exc})
+                    continue
+                self._backpressure(session)
+                session.submit(req)
+                session.poll()
+                flush()
+            session.drain()
+            flush()
+            return served
+        finally:
+            if owned and session.scheduler_started:
+                session.scheduler().shutdown()
 
     def stats(self, served: int = 0) -> Dict[str, Any]:
         """The full ``{"cmd": "stats"}`` response object.
@@ -246,6 +483,14 @@ class OptimizationService:
         stdout.write(json.dumps(obj, sort_keys=True) + "\n")
         stdout.flush()
 
+    def _note_response(self, resp: ServiceResponse) -> None:
+        """Fold one finished response into the service-wide aggregates."""
+        if resp.perf:
+            self._kernel = merge_snapshots([self._kernel, resp.perf])
+        get_registry().counter("service_requests_total",
+                               status=resp.status,
+                               cached=str(resp.cached).lower()).inc()
+
     def _hit_response(self, req: ServiceRequest,
                       artifact: Artifact) -> ServiceResponse:
         perf = merge_snapshots([artifact.perf,
@@ -258,7 +503,9 @@ class OptimizationService:
     def _miss_response(self, req: ServiceRequest, key: Optional[str],
                        job: JobResult) -> ServiceResponse:
         if not job.ok:
-            return ServiceResponse(req.name, job.status, error=job.error,
+            error = job.error if job.status != "cancelled" \
+                else (job.error or "cancelled")
+            return ServiceResponse(req.name, job.status, error=error,
                                    elapsed=job.elapsed)
         value = job.value
         artifact = Artifact(

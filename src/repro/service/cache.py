@@ -19,6 +19,11 @@ verified) result.  Design points:
 * **Size-bounded LRU index** -- ``index.json`` tracks last-use ticks; once
   ``max_entries`` is exceeded the least recently used objects are evicted.
   A missing or corrupt index is rebuilt from the object files.
+* **Multi-process safe** -- index mutation is a read-modify-write, so two
+  processes sharing a cache dir (``repro batch --cache-dir X`` twice)
+  would silently drop each other's stores and LRU bumps; every mutation
+  therefore runs under an ``fcntl`` advisory lock (``index.lock``) and
+  re-reads the on-disk index before applying itself.
 * **Counters** -- hits / misses / stores / evictions / corruption events
   are exposed as a ``perf_snapshot()`` dict using ``artifact_cache_*``
   keys, mergeable by :func:`repro.perf.merge_snapshots` alongside the
@@ -33,8 +38,14 @@ import hashlib
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: single-writer only
+    fcntl = None  # type: ignore[assignment]
 
 from repro.network.blif import parse_blif, write_blif
 from repro.network.network import Network
@@ -208,8 +219,21 @@ class ArtifactCache:
                 pass
             raise
         self.stores += 1
-        self._touch(key)
-        self._evict_over_budget()
+
+        def _finish(index: Dict[str, Any]) -> None:
+            index["tick"] += 1
+            index["entries"][key] = index["tick"]
+            entries = index["entries"]
+            while len(entries) > self.max_entries:
+                oldest = min(entries, key=lambda k: entries[k])
+                del entries[oldest]
+                try:
+                    os.unlink(self._object_path(oldest))
+                except OSError:
+                    pass
+                self.evictions += 1
+
+        self._mutate_index(_finish)
         return path
 
     # -- counters ------------------------------------------------------
@@ -272,28 +296,47 @@ class ArtifactCache:
                 pass
             raise
 
+    @contextmanager
+    def _index_lock(self) -> Iterator[None]:
+        """``fcntl`` advisory lock serializing index mutation across every
+        process sharing this cache directory (no-op where unavailable)."""
+        if fcntl is None:
+            yield
+            return
+        fd = os.open(os.path.join(self.root, "index.lock"),
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the fd releases the lock
+
+    def _mutate_index(self, mutate: Callable[[Dict[str, Any]], None]) -> None:
+        """One locked read-modify-write of ``index.json``.
+
+        Two unlocked writers interleave load -> mutate -> replace and the
+        later replace silently discards the earlier writer's stores and
+        LRU bumps; re-reading the on-disk index under the lock makes
+        every mutation apply to the current truth instead of a stale
+        in-memory copy.
+        """
+        with self._index_lock():
+            self._index = self._load_index()
+            mutate(self._index)
+            self._write_index()
+
     def _touch(self, key: str) -> None:
-        self._index["tick"] += 1
-        self._index["entries"][key] = self._index["tick"]
-        self._write_index()
+        def _bump(index: Dict[str, Any]) -> None:
+            index["tick"] += 1
+            index["entries"][key] = index["tick"]
+
+        self._mutate_index(_bump)
 
     def _remove_object(self, key: str) -> None:
         try:
             os.unlink(self._object_path(key))
         except OSError:
             pass
-        if key in self._index["entries"]:
-            del self._index["entries"][key]
-            self._write_index()
-
-    def _evict_over_budget(self) -> None:
-        entries = self._index["entries"]
-        while len(entries) > self.max_entries:
-            oldest = min(entries, key=lambda k: entries[k])
-            del entries[oldest]
-            try:
-                os.unlink(self._object_path(oldest))
-            except OSError:
-                pass
-            self.evictions += 1
-        self._write_index()
+        # Unconditional: the key may live only in the on-disk index
+        # (written by another process) and must not outlive its object.
+        self._mutate_index(lambda index: index["entries"].pop(key, None))

@@ -1,0 +1,242 @@
+"""Client for the socket front door, with retry and backoff.
+
+:class:`ServiceClient` speaks the JSON-lines protocol of
+:class:`repro.service.server.SocketServer` over a Unix-domain or TCP
+socket and implements the client half of the backpressure contract: an
+``{"status": "overloaded", "retry_after": s}`` reply is not an error but
+an instruction -- the client re-sends the request after a jittered
+exponential backoff floored at the server's ``retry_after`` hint.
+Connection refusal (server still starting, or restarting) retries the
+same way, so ``repro client`` can race ``repro serve`` in a script
+without a sleep between them.
+
+Jitter matters: N clients bounced by the same full queue would otherwise
+retry in lockstep and re-collide.  The RNG is seeded per-process from
+``os.getpid() ^ time.monotonic_ns()`` -- backoff timing is the one place
+this library *wants* cross-process divergence, and it never touches
+result data, so the determinism contract (RPL005) is not at stake.
+
+``request_many`` pipelines a whole batch on one connection: all lines
+are written before replies are read, replies are matched by ``id`` (the
+server answers rejections out of band), and only the rejected subset is
+re-sent on the next round.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import socket
+import time
+from typing import Any, Dict, IO, List, Optional
+
+#: Defaults for the retry policy (see ``_backoff_delay``).
+DEFAULT_RETRIES = 10
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 2.0
+
+
+class ServiceUnavailable(RuntimeError):
+    """Retries exhausted: could not connect, or overloaded every round."""
+
+
+class ServiceClient:
+    """One connection to a :class:`SocketServer` (see module doc).
+
+    Exactly one of ``socket_path`` / ``port`` selects the transport.
+    The connection is opened lazily on first use and can be re-opened
+    after :meth:`close`.
+    """
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: Optional[int] = None,
+                 timeout: float = 60.0,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 rng: Optional[random.Random] = None) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path / port required")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None \
+            else random.Random(os.getpid() ^ time.monotonic_ns())
+        self._sock: Optional[socket.socket] = None
+        self._reader: Optional[IO[str]] = None
+        self._next_id = 0
+        #: Overloaded replies absorbed by retries (observability/tests).
+        self.backpressure_seen = 0
+
+    # -- connection -----------------------------------------------------
+
+    def connect(self) -> None:
+        """Connect, retrying refusals with backoff (the server may still
+        be binding its socket)."""
+        if self._sock is not None:
+            return
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                self._sock = self._dial()
+                self._reader = self._sock.makefile(
+                    "r", encoding="utf-8", newline="\n")
+                return
+            except (ConnectionRefusedError, FileNotFoundError,
+                    ConnectionResetError) as exc:
+                last = exc
+                if attempt < self.retries:
+                    time.sleep(self._backoff_delay(attempt))
+        raise ServiceUnavailable(
+            "cannot reach server after %d attempts: %s"
+            % (self.retries + 1, last))
+
+    def _dial(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            assert self.port is not None
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        return sock
+
+    def close(self) -> None:
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- requests -------------------------------------------------------
+
+    def request(self, blif: str, options: Optional[Dict[str, Any]] = None,
+                timeout: Optional[float] = None,
+                trace: bool = False) -> Dict[str, Any]:
+        """One optimization round trip; returns the response object."""
+        return self.request_many([{"blif": blif, "options": options or {},
+                                   "timeout": timeout, "trace": trace}])[0]
+
+    def request_many(self, requests: List[Dict[str, Any]]) \
+            -> List[Dict[str, Any]]:
+        """Pipeline ``requests`` (dicts with ``blif`` and optionally
+        ``options``/``timeout``/``trace``); returns responses aligned
+        1:1 with the input order.
+
+        ``overloaded`` replies are retried with backoff (floored at the
+        server's ``retry_after``); :class:`ServiceUnavailable` is raised
+        only when a request is still refused after every retry.
+        """
+        self.connect()
+        wire: List[Dict[str, Any]] = []
+        ids: List[str] = []
+        for req in requests:
+            rid = "c%d" % self._next_id
+            self._next_id += 1
+            obj = {"id": rid, "blif": req["blif"],
+                   "options": req.get("options") or {}}
+            if req.get("timeout") is not None:
+                obj["timeout"] = req["timeout"]
+            if req.get("trace"):
+                obj["trace"] = True
+            wire.append(obj)
+            ids.append(rid)
+        responses: Dict[str, Dict[str, Any]] = {}
+        outstanding = list(wire)
+        for attempt in range(self.retries + 1):
+            rejected = self._round(outstanding, responses)
+            if not rejected:
+                break
+            if attempt >= self.retries:
+                raise ServiceUnavailable(
+                    "%d request(s) still overloaded after %d retries"
+                    % (len(rejected), self.retries))
+            floor = max((r.get("retry_after") or 0.0 for r in
+                         (responses[o["id"]] for o in rejected)),
+                        default=0.0)
+            time.sleep(self._backoff_delay(attempt, floor=floor))
+            outstanding = rejected
+        return [responses[rid] for rid in ids]
+
+    def _round(self, requests: List[Dict[str, Any]],
+               responses: Dict[str, Dict[str, Any]]) \
+            -> List[Dict[str, Any]]:
+        """Send ``requests``, read one reply each (matched by id);
+        returns the subset that was refused ``overloaded``."""
+        assert self._sock is not None and self._reader is not None
+        payload = "".join(json.dumps(o, sort_keys=True) + "\n"
+                          for o in requests)
+        self._sock.sendall(payload.encode("utf-8"))
+        awaiting = {o["id"] for o in requests}
+        while awaiting:
+            obj = self._read_reply()
+            rid = obj.get("id")
+            if rid in awaiting:
+                awaiting.discard(rid)
+                responses[rid] = obj
+            # Replies without a known id (a stray ack, another command's
+            # output) are dropped: ids are unique per client, so nothing
+            # we are awaiting can be missed.
+        rejected = [o for o in requests
+                    if responses[o["id"]].get("status") == "overloaded"]
+        self.backpressure_seen += len(rejected)
+        return rejected
+
+    def _read_reply(self) -> Dict[str, Any]:
+        assert self._reader is not None
+        line = self._reader.readline()
+        if not line:
+            raise ServiceUnavailable("server closed the connection")
+        obj = json.loads(line)
+        if not isinstance(obj, dict):
+            raise ServiceUnavailable("malformed reply: %r" % line[:200])
+        return obj
+
+    # -- commands -------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """``{"cmd": "stats"}`` (only between batches: command replies
+        carry no id, so they cannot interleave with pipelined work)."""
+        return self._command({"cmd": "stats"})
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus text exposition."""
+        return str(self._command({"cmd": "metrics"}).get("text", ""))
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Close this connection's session server-side; returns the ack."""
+        return self._command({"cmd": "shutdown"})
+
+    def _command(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        assert self._sock is not None
+        self._sock.sendall((json.dumps(obj) + "\n").encode("utf-8"))
+        return self._read_reply()
+
+    # -- backoff --------------------------------------------------------
+
+    def _backoff_delay(self, attempt: int, floor: float = 0.0) -> float:
+        """Jittered exponential backoff, floored at the server's hint."""
+        delay = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        delay *= 0.5 + 0.5 * self._rng.random()
+        return max(delay, floor)

@@ -20,6 +20,17 @@ everything a job can do to a worker:
   applies backpressure instead).
 * **Deterministic ordering**: results are reported in submission order,
   whatever order workers finish in.
+* **Completion callbacks**: ``submit(..., on_complete=fn)`` fires ``fn``
+  parent-side the moment the job's verdict is recorded (inside
+  :meth:`OptimizationScheduler.poll`/``wait``), so an event-driven
+  caller -- the socket server -- never has to block in submission
+  order.  Callbacks must not raise.
+* **One verdict per job**: a job is recorded (and accounted in
+  ``repro_scheduler_jobs_total{status}``) exactly once.  When the
+  parent-side deadline backstop or a cancellation races a worker that
+  already wrote its graceful result to the channel, the *first* verdict
+  -- the worker's own report -- wins; the terminate only reaps the
+  process, it never re-classifies the job.
 
 The scheduler is generic over the worker function (any picklable
 ``payload -> dict`` callable), which is also the fault-injection seam the
@@ -113,6 +124,12 @@ def optimize_job_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
 def _child_main(conn: Any, worker: Callable[[Dict[str, Any]], Dict[str, Any]],
                 payload: Dict[str, Any], timeout: Optional[float]) -> None:
     """Worker-process entry: run the job, report exactly one dict."""
+    # The parent may have a SIGTERM handler of its own (the socket
+    # server's drain handler); a forked worker inherits it, which would
+    # turn the scheduler's terminate() into a no-op.  Restore the
+    # default so kill paths keep killing.
+    if hasattr(signal, "SIGTERM"):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
     if timeout is not None and hasattr(signal, "SIGALRM"):
         def _on_alarm(signum: int, frame: Any) -> None:
             raise BddBudgetExceeded(
@@ -148,11 +165,16 @@ def _child_main(conn: Any, worker: Callable[[Dict[str, Any]], Dict[str, Any]],
             pass
 
 
+#: Shape of a completion callback (see ``submit(on_complete=...)``).
+CompletionCallback = Callable[[JobResult], None]
+
+
 @dataclass
 class _Pending:
     job_id: int
     payload: Dict[str, Any]
     timeout: Optional[float]
+    on_complete: Optional[CompletionCallback] = None
 
 
 @dataclass
@@ -162,6 +184,7 @@ class _Running:
     conn: Any
     started: float
     deadline: Optional[float]
+    on_complete: Optional[CompletionCallback] = None
 
 
 class OptimizationScheduler:
@@ -200,16 +223,24 @@ class OptimizationScheduler:
     # -- public API ----------------------------------------------------
 
     def submit(self, payload: Dict[str, Any],
-               timeout: Optional[float] = None) -> int:
+               timeout: Optional[float] = None,
+               on_complete: Optional[CompletionCallback] = None) -> int:
         """Queue one job; returns its id.  Raises :class:`SchedulerFull`
-        when ``queue_cap`` jobs are already outstanding."""
+        when ``queue_cap`` jobs are already outstanding.
+
+        ``on_complete`` (optional) is invoked with the :class:`JobResult`
+        exactly once, parent-side, when the verdict is recorded -- from
+        whichever of ``poll``/``wait``/``cancel``/``shutdown`` observes
+        it first.  Callbacks must not raise.
+        """
         if self.outstanding >= self.queue_cap:
             raise SchedulerFull("queue cap %d reached" % self.queue_cap)
         job_id = self._next_id
         self._next_id += 1
         self._pending.append(_Pending(
             job_id, payload,
-            self.default_timeout if timeout is None else timeout))
+            self.default_timeout if timeout is None else timeout,
+            on_complete))
         self._pump()
         return job_id
 
@@ -217,13 +248,16 @@ class OptimizationScheduler:
         """Cancel a job: drop it if pending, terminate it if running.
 
         Returns False when the job already completed (or never existed).
+        A running job that already wrote its result to the channel is
+        recorded under that verdict (first verdict wins), not as
+        ``cancelled``.
         """
         for i, job in enumerate(self._pending):
             if job.job_id == job_id:
                 del self._pending[i]
-                self._done[job_id] = JobResult(job_id, "cancelled",
-                                               error="cancelled while queued")
-                self._account(self._done[job_id])
+                self._record(JobResult(job_id, "cancelled",
+                                       error="cancelled while queued"),
+                             job.on_complete)
                 return True
         if job_id in self._running:
             self._kill(job_id, "cancelled", "cancelled while running")
@@ -271,9 +305,9 @@ class OptimizationScheduler:
         """Cancel everything outstanding and reap every worker process."""
         while self._pending:
             job = self._pending.popleft()
-            self._done[job.job_id] = JobResult(job.job_id, "cancelled",
-                                               error="scheduler shutdown")
-            self._account(self._done[job.job_id])
+            self._record(JobResult(job.job_id, "cancelled",
+                                   error="scheduler shutdown"),
+                         job.on_complete)
         for job_id in list(self._running):
             self._kill(job_id, "cancelled", "scheduler shutdown")
 
@@ -296,7 +330,7 @@ class OptimizationScheduler:
         now = time.monotonic()
         deadline = None if job.timeout is None else now + job.timeout
         self._running[job.job_id] = _Running(job.job_id, proc, parent_conn,
-                                             now, deadline)
+                                             now, deadline, job.on_complete)
 
     def _pump(self) -> None:
         now = time.monotonic()
@@ -326,33 +360,70 @@ class OptimizationScheduler:
             self._start(self._pending.popleft())
         self._sync_gauges()
 
+    def _record(self, result: JobResult,
+                on_complete: Optional[CompletionCallback]) -> None:
+        """The single sink every verdict funnels through: record once,
+        account once, notify once."""
+        if result.job_id in self._done:
+            raise AssertionError(
+                "job %d recorded twice (%s then %s)"
+                % (result.job_id, self._done[result.job_id].status,
+                   result.status))
+        self._done[result.job_id] = result
+        self._account(result)
+        if on_complete is not None:
+            on_complete(result)
+
     def _finish(self, job_id: int, msg: Optional[Dict[str, Any]]) -> None:
         run = self._running.pop(job_id)
         elapsed = time.monotonic() - run.started
         run.proc.join(timeout=self.grace)
         if run.proc.is_alive():
-            run.proc.terminate()
-            run.proc.join()
+            self._terminate(run.proc)
         run.conn.close()
         if msg is None:
             exitcode = run.proc.exitcode
-            self._done[job_id] = JobResult(
+            result = JobResult(
                 job_id, "failed", elapsed=elapsed,
                 error="worker crashed (exit code %s)" % exitcode)
         else:
             status = msg.get("status", "failed")
-            self._done[job_id] = JobResult(job_id, status, value=msg,
-                                           error=msg.get("error"),
-                                           elapsed=elapsed)
-        self._account(self._done[job_id])
+            result = JobResult(job_id, status, value=msg,
+                               error=msg.get("error"), elapsed=elapsed)
+        self._record(result, run.on_complete)
+
+    def _terminate(self, proc: Any) -> None:
+        """SIGTERM, then SIGKILL after ``grace``: a worker killed in the
+        narrow window after fork but before ``_child_main`` resets an
+        inherited SIGTERM handler (the socket server's drain handler)
+        would otherwise ignore the terminate and leave us joining until
+        its job ran to completion."""
+        proc.terminate()
+        proc.join(timeout=self.grace)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
 
     def _kill(self, job_id: int, status: str,
               error: Optional[str] = None) -> None:
         run = self._running.pop(job_id)
         elapsed = time.monotonic() - run.started
-        run.proc.terminate()
-        run.proc.join()
+        # First verdict wins: the worker may have written its graceful
+        # report (the SIGALRM timeout path, or a normal completion racing
+        # a cancel/backstop) in the window since we last polled.  Drain
+        # the channel before terminating so that report -- not the kill
+        # reason -- is the job's one recorded verdict.
+        msg: Optional[Dict[str, Any]] = None
+        try:
+            if run.conn.poll():
+                msg = run.conn.recv()
+        except (EOFError, OSError):
+            msg = None
+        self._terminate(run.proc)
         run.conn.close()
-        self._done[job_id] = JobResult(job_id, status, error=error,
-                                       elapsed=elapsed)
-        self._account(self._done[job_id])
+        if isinstance(msg, dict) and "status" in msg:
+            result = JobResult(job_id, msg["status"], value=msg,
+                               error=msg.get("error"), elapsed=elapsed)
+        else:
+            result = JobResult(job_id, status, error=error, elapsed=elapsed)
+        self._record(result, run.on_complete)

@@ -241,17 +241,91 @@ class TestServeCommand:
         import json
         import sys as _sys
 
+        # The stats command drains in-flight work, so the shutdown that
+        # follows finds nothing to cancel (a shutdown racing a pending
+        # request answers it ``cancelled`` instead -- see
+        # tests/test_service_api.py).
         request = json.dumps({"blif": open(blif_file).read(), "id": "r1"})
+        stats = json.dumps({"cmd": "stats"})
         shutdown = json.dumps({"cmd": "shutdown"})
-        monkeypatch.setattr(_sys, "stdin",
-                            io.StringIO(request + "\n" + shutdown + "\n"))
+        monkeypatch.setattr(
+            _sys, "stdin",
+            io.StringIO(request + "\n" + stats + "\n" + shutdown + "\n"))
         rc = main(["serve", "--cache-dir", str(tmp_path / "cache")])
         assert rc == 0
         lines = [json.loads(line)
                  for line in capsys.readouterr().out.splitlines()]
         assert lines[0]["id"] == "r1" and lines[0]["status"] == "ok"
         parse_blif(lines[0]["blif"])
-        assert lines[1] == {"status": "ok", "served": 1}
+        assert lines[1]["cache"]["artifact_cache_misses"] == 1
+        assert lines[2] == {"status": "ok", "served": 1}
+
+
+class TestServeSocketCommand:
+    def _spawn_server(self, tmp_path):
+        import os
+        import subprocess
+        import sys as _sys
+        import time
+
+        sock_path = str(tmp_path / "srv.sock")
+        repo_src = os.path.join(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))), "src")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro.cli", "serve",
+             "--socket", sock_path,
+             "--cache-dir", str(tmp_path / "cache")],
+            env=dict(os.environ, PYTHONPATH=repo_src),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        deadline = time.monotonic() + 30
+        while not os.path.exists(sock_path):
+            assert proc.poll() is None, proc.stderr.read()
+            assert time.monotonic() < deadline, "server never bound"
+            time.sleep(0.05)
+        return proc, sock_path
+
+    def test_socket_serve_sigterm_drains_exit_0(self, blif_file, tmp_path):
+        import signal
+
+        from repro.service import ServiceClient
+
+        proc, sock_path = self._spawn_server(tmp_path)
+        try:
+            with ServiceClient(socket_path=sock_path) as client:
+                resp = client.request(open(blif_file).read(), timeout=120)
+            assert resp["status"] == "ok"
+            parse_blif(resp["blif"])
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            _out, err = proc.communicate(timeout=60)
+        assert proc.returncode == 0
+        assert "drained cleanly" in err
+
+    def test_client_command_round_trip(self, blif_file, tmp_path):
+        import signal
+
+        proc, sock_path = self._spawn_server(tmp_path)
+        try:
+            out_dir = str(tmp_path / "out")
+            rc = main(["client", blif_file, "--socket", sock_path,
+                       "--out-dir", out_dir, "--timeout", "120"])
+            assert rc == 0
+            optimized = open(out_dir + "/in.opt.blif").read()
+            parse_blif(optimized)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=60)
+        assert proc.returncode == 0
+
+    def test_client_requires_exactly_one_transport(self, blif_file):
+        assert main(["client", blif_file]) == 1
+        assert main(["client", blif_file, "--socket", "/tmp/x",
+                     "--port", "1"]) == 1
+
+    def test_client_unreachable_server_exits_1(self, blif_file, tmp_path):
+        assert main(["client", blif_file,
+                     "--socket", str(tmp_path / "gone.sock"),
+                     "--retries", "1"]) == 1
 
 
 class TestFuzzCommand:

@@ -110,3 +110,60 @@ class TestRegistry:
 
     def test_process_registry_is_shared(self):
         assert get_registry() is get_registry()
+
+
+def _registry_probe_child(conn):
+    # Module-level so it works under any multiprocessing start method.
+    from repro.obs.metrics import get_registry
+
+    reg = get_registry()
+    inherited = reg.counter_value("fork_probe_total")
+    reg.counter("fork_probe_total").inc(100)
+    conn.send([inherited, reg.counter_value("fork_probe_total")])
+    conn.close()
+
+
+class TestForkSafety:
+    """The registry is parent-side only: a forked worker inherits a
+    *copy* (so importing repro.obs.metrics in a worker is harmless), its
+    increments die with it, and worker counters reach the parent only
+    through the result channel -- never by double-exporting the shared
+    registry."""
+
+    def test_forked_child_increments_stay_in_the_child(self):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("fork start method required to observe inheritance")
+        reg = get_registry()
+        base = reg.counter_value("fork_probe_total")
+        reg.counter("fork_probe_total").inc()
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        proc = multiprocessing.Process(target=_registry_probe_child,
+                                       args=(child_conn,))
+        proc.start()
+        child_conn.close()
+        inherited, after_inc = parent_conn.recv()
+        proc.join(30)
+        assert proc.exitcode == 0
+        assert inherited == base + 1          # fork copied parent state
+        assert after_inc == inherited + 100   # child increments applied...
+        # ...but never merged back: the parent registry is unchanged.
+        assert reg.counter_value("fork_probe_total") == base + 1
+
+    def test_decompose_workers_never_export_through_the_registry(self):
+        # jobs=2 forks decompose workers that import the kernel (and
+        # transitively repro.obs.metrics).  Their kernel counters must
+        # arrive via the result channel (result.perf), leaving the
+        # parent registry exactly as it was -- double-exporting would
+        # corrupt every service-level jobs_total/histogram reading.
+        from repro.bds.flow import BDSOptions, bds_optimize
+        from repro.circuits import build_circuit
+
+        reg = get_registry()
+        before = json.dumps(reg.as_dict(), sort_keys=True)
+        result = bds_optimize(build_circuit("add8"), BDSOptions(jobs=2))
+        assert result.perf["ite_calls"] > 0   # counters did travel
+        after = reg.as_dict()
+        assert json.dumps(after, sort_keys=True) == before
+        assert "ite_calls" not in after["counters"]

@@ -10,8 +10,9 @@ import sys
 
 import pytest
 
-from repro.obs.regress import (DEFAULT_BENCH_CIRCUITS, collect_flow_payload,
-                               compare_payloads, load_baseline)
+from repro.obs.regress import (CPU_FLOOR_S, DEFAULT_BENCH_CIRCUITS,
+                               collect_flow_payload, compare_payloads,
+                               load_baseline)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -106,6 +107,42 @@ class TestComparePayloads:
         cur = _current(add8={"cpu_s": 9.0,
                              "counters": {"ite_calls": -1}})
         assert compare_payloads(BASE, cur).exit_code() == 2
+
+    def test_zero_cpu_baseline_neither_raises_nor_fails(self):
+        # Regression: a 0.0s baseline (tiny circuit on fast hardware)
+        # used to be rejected as incomparable -- and any sub-floor
+        # baseline made the relative tolerance fire on pure noise.
+        report = compare_payloads(_current(add8={"cpu_s": 0.0}),
+                                  _current(add8={"cpu_s": 0.0009}))
+        assert report.exit_code() == 0
+        assert report.incomparable == []
+
+    def test_sub_floor_jitter_is_not_a_regression(self):
+        # 0.4ms -> 0.9ms is a 2.25x ratio but far below the floor.
+        assert CPU_FLOOR_S > 0.001
+        report = compare_payloads(_current(add8={"cpu_s": 0.0004}),
+                                  _current(add8={"cpu_s": 0.0009}))
+        assert report.exit_code() == 0
+
+    def test_zero_baseline_still_catches_real_slowdowns(self):
+        report = compare_payloads(_current(add8={"cpu_s": 0.0}),
+                                  _current(add8={"cpu_s": 60.0}))
+        assert report.exit_code() == 1
+        (diff,) = report.regressions
+        assert diff.metric == "cpu_s" and "floored" in diff.note
+
+    def test_negative_baseline_is_incomparable(self):
+        report = compare_payloads(_current(add8={"cpu_s": -1.0}),
+                                  _current())
+        assert report.exit_code() == 2
+        assert any("negative baseline" in d.note
+                   for d in report.incomparable)
+
+    def test_custom_floor_is_honored(self):
+        base = _current(add8={"cpu_s": 0.1})
+        cur = _current(add8={"cpu_s": 0.3})
+        assert compare_payloads(base, cur).exit_code() == 1
+        assert compare_payloads(base, cur, cpu_floor=0.5).exit_code() == 0
 
     def test_render_summarizes_the_verdict(self):
         report = compare_payloads(BASE, _current(add8={"cpu_s": 1.3}))

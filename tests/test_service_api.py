@@ -19,6 +19,23 @@ from repro.verify import verify_networks
 SMALL = ["add4", "add8", "cmp8", "parity8", "rl_mux"]
 
 
+def _slow_echo_worker(payload):
+    # Module-level so it pickles; blif "sleep:<s>" sleeps, else instant.
+    blif = payload["blif"]
+    if blif.startswith("sleep:"):
+        time.sleep(float(blif.split(":", 1)[1]))
+    return {"status": "ok", "blif": "echo:" + blif}
+
+
+def _slow_service(**kwargs):
+    from repro.service import OptimizationScheduler
+
+    return OptimizationService(
+        scheduler_factory=lambda **kw: OptimizationScheduler(
+            worker=_slow_echo_worker, **kw),
+        **kwargs)
+
+
 def _requests(names, **opt_kwargs):
     opts = BDSOptions(**opt_kwargs)
     return [ServiceRequest(blif=write_blif(build_circuit(n)), options=opts,
@@ -149,6 +166,41 @@ class TestServeLoop:
         assert 'repro_scheduler_jobs_total{status="ok"} 1' in text
         assert "# TYPE repro_scheduler_job_seconds histogram" in text
         assert 'repro_scheduler_job_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_shutdown_with_pending_requests_emits_cancelled_replies(self):
+        # Satellite fix: a shutdown interleaved with pending requests
+        # used to drop their responses entirely -- clients hung waiting
+        # for replies that never came.  Every unanswered request must
+        # get its documented per-request cancelled error object, in
+        # request order, before the ack.
+        service = _slow_service(max_workers=1)
+        lines = [json.dumps({"blif": "sleep:30", "id": "running"}),
+                 json.dumps({"blif": "sleep:30", "id": "queued"}),
+                 json.dumps({"cmd": "shutdown"})]
+        out_io = io.StringIO()
+        served = service.serve(io.StringIO("\n".join(lines) + "\n"), out_io)
+        out = [json.loads(line) for line in
+               out_io.getvalue().splitlines()]
+        assert served == 2
+        assert len(out) == 3
+        assert [o["id"] for o in out[:2]] == ["running", "queued"]
+        for o in out[:2]:
+            assert o["status"] == "cancelled"
+            assert "cancelled" in o["error"]
+        assert out[2] == {"status": "ok", "served": 2}
+
+    def test_pipelined_requests_respond_in_request_order(self):
+        # The first request is slow, the second instant; the daemon may
+        # run them concurrently but must answer in request order.
+        service = _slow_service(max_workers=2)
+        lines = [json.dumps({"blif": "sleep:0.4", "id": "slow"}),
+                 json.dumps({"blif": "quick", "id": "quick"})]
+        out_io = io.StringIO()
+        service.serve(io.StringIO("\n".join(lines) + "\n"), out_io)
+        out = [json.loads(line) for line in out_io.getvalue().splitlines()]
+        assert [o["id"] for o in out] == ["slow", "quick"]
+        assert [o["status"] for o in out] == ["ok", "ok"]
+        assert out[1]["blif"] == "echo:quick"
 
     def test_serve_trace_request_returns_span_trees(self):
         blif = write_blif(build_circuit("add4"))

@@ -257,3 +257,57 @@ def test_artifact_payload_versioning(tmp_path):
     # Version mismatch *with a stale checksum* is corruption; with a
     # recomputed checksum it is schema drift -- either way a clean miss.
     assert cache.lookup("12" * 32) is None
+
+
+def _hammer_index(root, prefix, count, barrier):
+    """One writer process: store ``count`` artifacts with distinct keys."""
+    import hashlib
+
+    cache = ArtifactCache(root)
+    barrier.wait()            # maximize read-modify-write interleaving
+    for i in range(count):
+        key = hashlib.sha256(
+            ("%s-%d" % (prefix, i)).encode("utf-8")).hexdigest()
+        cache.store(key, Artifact(network_blif=".model t\n.end\n"))
+
+
+class TestConcurrentWriters:
+    """Satellite fix: two processes sharing one cache dir used to lose
+    each other's index entries (read-modify-write of index.json without
+    a lock); the fcntl advisory lock makes every store stick."""
+
+    def test_two_process_hammer_loses_no_entries(self, tmp_path):
+        import multiprocessing
+
+        count = 20
+        ctx = multiprocessing.get_context()
+        barrier = ctx.Barrier(2)
+        procs = [ctx.Process(target=_hammer_index,
+                             args=(str(tmp_path), prefix, count, barrier))
+                 for prefix in ("a", "b")]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+        assert all(p.exitcode == 0 for p in procs)
+        # A fresh reader sees every store from both writers -- in the
+        # index (not just via the objects/ rescan fallback).
+        reader = ArtifactCache(str(tmp_path))
+        assert reader.corrupt == 0            # index parsed, not rebuilt
+        assert len(reader) == 2 * count
+        # ...and the index agrees with the objects on disk.
+        objects = sum(
+            name.endswith(".json") and not name.startswith(".tmp-")
+            for _dir, _sub, files in os.walk(str(tmp_path / "objects"))
+            for name in files)
+        assert objects == 2 * count
+
+    def test_single_process_semantics_unchanged(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_entries=2)
+        for i in range(3):
+            cache.store(("%02d" % i) * 32,
+                        Artifact(network_blif=".model t\n.end\n"))
+        assert len(cache) == 2                # LRU bound still enforced
+        assert cache.evictions == 1
+        assert cache.lookup("00" * 32) is None     # the evicted one
+        assert cache.lookup("02" * 32) is not None

@@ -52,6 +52,24 @@ def _flaky_worker(payload):
     return {"status": "ok", "n": payload["n"]}
 
 
+def _report_then_linger_worker(payload):
+    # Writes its graceful result to the channel, then keeps the process
+    # alive (a non-daemon thread blocks interpreter exit) -- the exact
+    # window in which a parent-side terminate used to race the worker's
+    # own verdict.
+    import threading
+    threading.Thread(target=time.sleep, args=(30,), daemon=False).start()
+    return {"status": "ok", "n": payload.get("n", 0)}
+
+
+def _sigterm_probe_worker(payload):
+    # Reports whether the fork left SIGTERM at its default disposition.
+    # repro-lint: disable=RPL006
+    return {"status": "ok",
+            "sigterm_default":
+                signal.getsignal(signal.SIGTERM) is signal.SIG_DFL}
+
+
 def _assert_no_leaked_children():
     deadline = time.monotonic() + 5.0
     while multiprocessing.active_children() and time.monotonic() < deadline:
@@ -182,6 +200,127 @@ class TestCancellation:
         statuses = [r.status for r in sched.results()]
         assert len(statuses) == 5
         assert set(statuses) == {"cancelled"}
+        _assert_no_leaked_children()
+
+
+class TestFirstVerdictWins:
+    """Satellite fix: a kill (timeout backstop / cancel) racing a worker
+    that already reported must record the worker's verdict, once."""
+
+    def _jobs_total(self):
+        from repro.obs.metrics import get_registry
+        reg = get_registry()
+        return {s: reg.counter_value("scheduler_jobs_total", status=s)
+                for s in ("ok", "failed", "timeout", "cancelled")}
+
+    def test_cancel_after_report_keeps_worker_verdict(self):
+        before = self._jobs_total()
+        with OptimizationScheduler(max_workers=1,
+                                   worker=_report_then_linger_worker) as sched:
+            jid = sched.submit({"n": 7})
+            # Wait for the worker's report to land in the pipe WITHOUT
+            # letting the scheduler consume it (no poll/wait): the next
+            # scheduler action is the cancel itself -- the race window,
+            # made deterministic.
+            deadline = time.monotonic() + 10.0
+            while not sched._running[jid].conn.poll():
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert sched.cancel(jid)
+            results = sched.results()
+        assert [r.status for r in results] == ["ok"]
+        assert results[0].value["n"] == 7
+        after = self._jobs_total()
+        # Single accounting: exactly one job counted, under the
+        # worker's own status -- never ok *and* cancelled.
+        assert after["ok"] == before["ok"] + 1
+        assert after["cancelled"] == before["cancelled"]
+        assert sum(after.values()) == sum(before.values()) + 1
+        _assert_no_leaked_children()
+
+    def test_shutdown_after_report_keeps_worker_verdict(self):
+        before = self._jobs_total()
+        sched = OptimizationScheduler(max_workers=1,
+                                      worker=_report_then_linger_worker)
+        jid = sched.submit({"n": 3})
+        deadline = time.monotonic() + 10.0
+        while not sched._running[jid].conn.poll():
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        sched.shutdown()
+        assert [r.status for r in sched.results()] == ["ok"]
+        after = self._jobs_total()
+        assert sum(after.values()) == sum(before.values()) + 1
+        _assert_no_leaked_children()
+
+    def test_double_record_is_an_assertion_error(self):
+        from repro.service.scheduler import JobResult
+        with OptimizationScheduler(max_workers=1,
+                                   worker=_quick_worker) as sched:
+            sched.submit({"n": 0})
+            sched.wait(timeout=30)
+            with pytest.raises(AssertionError, match="recorded twice"):
+                sched._record(JobResult(0, "cancelled"), None)
+
+
+class TestCompletionCallbacks:
+    def test_callbacks_fire_once_per_job_with_the_result(self):
+        seen = []
+        with OptimizationScheduler(max_workers=4,
+                                   worker=_quick_worker) as sched:
+            for i in range(6):
+                sched.submit({"n": i}, on_complete=seen.append)
+            sched.wait(timeout=30)
+        assert sorted(r.job_id for r in seen) == list(range(6))
+        assert all(r.ok for r in seen)
+        assert [r.value["n"] for r in sorted(seen, key=lambda r: r.job_id)] \
+            == list(range(6))
+
+    def test_callback_fires_for_cancelled_pending_job(self):
+        seen = []
+        with OptimizationScheduler(max_workers=1,
+                                   worker=_sleep_worker) as sched:
+            sched.submit({"sleep": 30}, on_complete=seen.append)
+            queued = sched.submit({"sleep": 30}, on_complete=seen.append)
+            sched.cancel(queued)
+            assert [r.job_id for r in seen] == [queued]
+            assert seen[0].status == "cancelled"
+        # shutdown (via __exit__) completes the running job's callback.
+        assert len(seen) == 2
+
+
+class TestForkSafety:
+    def test_worker_resets_inherited_sigterm_handler(self):
+        # The socket server installs a SIGTERM drain handler; a forked
+        # worker inheriting it would survive the scheduler's terminate().
+        # repro-lint: disable=RPL006
+        previous = signal.signal(signal.SIGTERM, lambda s, f: None)
+        try:
+            with OptimizationScheduler(
+                    max_workers=1, worker=_sigterm_probe_worker) as sched:
+                sched.submit({})
+                results = sched.wait(timeout=30)
+        finally:
+            signal.signal(signal.SIGTERM, previous)  # repro-lint: disable=RPL006
+        assert results[0].ok
+        assert results[0].value["sigterm_default"] is True
+        _assert_no_leaked_children()
+
+    def test_terminate_still_kills_despite_parent_sigterm_handler(self):
+        # repro-lint: disable=RPL006
+        previous = signal.signal(signal.SIGTERM, lambda s, f: None)
+        try:
+            with OptimizationScheduler(max_workers=1,
+                                       worker=_sleep_worker) as sched:
+                jid = sched.submit({"sleep": 30})
+                t0 = time.monotonic()
+                sched.cancel(jid)
+                results = sched.wait(timeout=10)
+                took = time.monotonic() - t0
+        finally:
+            signal.signal(signal.SIGTERM, previous)  # repro-lint: disable=RPL006
+        assert results[0].status == "cancelled"
+        assert took < 5.0        # terminate worked; no 30s wait
         _assert_no_leaked_children()
 
 
